@@ -1,0 +1,34 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (Fig. 1's table, Fig. 2a–e, Fig. 3, Fig. 4) as
+// plain-text tables on stdout.
+//
+// Usage:
+//
+//	experiments [-exp all|fig1|exp1a|fig2b|exp1c|exp2|exp2e|exp3|exp4] [-full]
+//
+// Without -full, the reduced datasets are used (seconds of runtime); with
+// -full, the full-size dataset simulators (minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	name := flag.String("exp", "all", "experiment to run: all, fig1, exp1a, fig2b, exp1c, exp2, exp2e, exp3, exp4")
+	full := flag.Bool("full", false, "use full-size dataset simulators (slow)")
+	flag.Parse()
+
+	cfg := exp.Config{Scale: exp.ScaleSmall}
+	if *full {
+		cfg.Scale = exp.ScaleFull
+	}
+	if err := exp.Run(os.Stdout, *name, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command gengraph emits synthetic graphs and update streams in the
+// formats read by cmd/simrank: an edge list plus an optional "+/- from to"
+// update stream.
+//
+// Usage:
+//
+//	gengraph -model er|pa -n 1000 -m 5000 [-seed 1] [-out graph.txt]
+//	         [-updates 100] [-insert-frac 0.8] [-updates-out updates.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model      = flag.String("model", "pa", "generator: er (Erdős–Rényi) or pa (preferential attachment)")
+		n          = flag.Int("n", 1000, "number of nodes")
+		m          = flag.Int("m", 5000, "number of edges (er model)")
+		outDeg     = flag.Int("outdeg", 5, "citations per node (pa model)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("out", "-", "graph output file, - for stdout")
+		updates    = flag.Int("updates", 0, "also emit this many updates")
+		insertFrac = flag.Float64("insert-frac", 0.8, "fraction of insertions in the update stream")
+		updatesOut = flag.String("updates-out", "", "update-stream output file (required when -updates > 0)")
+	)
+	flag.Parse()
+
+	var g *graph.DiGraph
+	switch *model {
+	case "er":
+		g = gen.ER(*n, *m, *seed)
+	case "pa":
+		g = gen.PrefAttach(*n, *outDeg, *seed)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		return err
+	}
+
+	if *updates > 0 {
+		if *updatesOut == "" {
+			return fmt.Errorf("-updates-out is required with -updates")
+		}
+		ups := gen.MixedStream(g, *updates, *insertFrac, *seed+1)
+		f, err := os.Create(*updatesOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := graph.WriteUpdates(f, ups); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d updates to %s\n", len(ups), *updatesOut)
+	}
+	return nil
+}

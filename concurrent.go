@@ -1,0 +1,98 @@
+package simrank
+
+import "sync"
+
+// ConcurrentEngine wraps an Engine with a readers–writer lock so many
+// goroutines can query similarities while updates are serialized — the
+// deployment shape of a live recommendation service absorbing a link
+// stream.
+type ConcurrentEngine struct {
+	mu  sync.RWMutex
+	eng *Engine
+}
+
+// NewConcurrentEngine builds a concurrency-safe engine; see NewEngine.
+func NewConcurrentEngine(n int, edges []Edge, opts Options) (*ConcurrentEngine, error) {
+	eng, err := NewEngine(n, edges, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentEngine{eng: eng}, nil
+}
+
+// WrapEngine takes ownership of an existing engine (for example one
+// restored via ReadSnapshot). The caller must not use eng directly
+// afterwards.
+func WrapEngine(eng *Engine) *ConcurrentEngine {
+	return &ConcurrentEngine{eng: eng}
+}
+
+// Similarity returns s(a, b) under a read lock.
+func (c *ConcurrentEngine) Similarity(a, b int) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.Similarity(a, b)
+}
+
+// TopK returns the k most similar pairs under a read lock.
+func (c *ConcurrentEngine) TopK(k int) []Pair {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.TopK(k)
+}
+
+// TopKFor returns the nodes most similar to a under a read lock.
+func (c *ConcurrentEngine) TopKFor(a, k int) []Pair {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.TopKFor(a, k)
+}
+
+// N returns the node count under a read lock.
+func (c *ConcurrentEngine) N() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.N()
+}
+
+// M returns the edge count under a read lock.
+func (c *ConcurrentEngine) M() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.M()
+}
+
+// HasEdge reports edge presence under a read lock.
+func (c *ConcurrentEngine) HasEdge(i, j int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.HasEdge(i, j)
+}
+
+// Insert adds an edge under the write lock.
+func (c *ConcurrentEngine) Insert(i, j int) (UpdateStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.Insert(i, j)
+}
+
+// Delete removes an edge under the write lock.
+func (c *ConcurrentEngine) Delete(i, j int) (UpdateStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.Delete(i, j)
+}
+
+// Apply performs one unit update under the write lock.
+func (c *ConcurrentEngine) Apply(up Update) (UpdateStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.Apply(up)
+}
+
+// ApplyBatch folds a batch of updates under one write-lock acquisition.
+func (c *ConcurrentEngine) ApplyBatch(ups []Update) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.ApplyBatch(ups)
+}

@@ -1,0 +1,27 @@
+// Package simrank is a from-scratch Go implementation of fast incremental
+// SimRank on link-evolving graphs (Yu, Lin, Zhang — ICDE 2014), together
+// with the batch algorithms and the SVD-based incremental baseline the
+// paper evaluates against.
+//
+// SimRank scores node-pair similarity from link structure: "two nodes are
+// similar if they are referenced by similar nodes". Computing it from
+// scratch costs O(Kd'n²); this package instead maintains the scores under
+// edge insertions and deletions in O(K(nd + |AFF|)) per update — exact,
+// with pruning of the unaffected node-pairs.
+//
+// # Quick start
+//
+//	eng, err := simrank.NewEngine(4, []simrank.Edge{
+//		{From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+//	}, simrank.Options{})
+//	if err != nil { ... }
+//	_ = eng.Similarity(0, 1)        // batch score
+//	_, _ = eng.Insert(3, 2)         // incremental update (Inc-SR)
+//	top := eng.TopK(10)             // most similar pairs after the update
+//
+// The update path implements Algorithm 2 (Inc-SR) of the paper; set
+// Options.DisablePruning to fall back to Algorithm 1 (Inc-uSR), which
+// touches all n² pairs. Both are exact: after any update sequence the
+// scores match a batch recomputation to within the iterative truncation
+// error C^{K+1}.
+package simrank

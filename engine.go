@@ -1,0 +1,245 @@
+package simrank
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// Edge is a directed edge From → To (a citation, hyperlink, …).
+type Edge = graph.Edge
+
+// Update is a unit link update: one edge insertion or deletion.
+type Update = graph.Update
+
+// Pair is a scored node-pair returned by TopK.
+type Pair = metrics.Pair
+
+// UpdateStats reports the work one incremental update performed.
+type UpdateStats = core.Stats
+
+// Options configures an Engine. The zero value selects the paper's
+// defaults: C = 0.6, K = 15, pruning enabled.
+type Options struct {
+	// C is the damping factor in (0, 1); 0 selects the default 0.6
+	// (Section VI-A, following Jeh and Widom).
+	C float64
+	// K is the number of iterations; 0 selects the default 15, with which
+	// the truncation error C^K is ≈ 5·10⁻⁴ (Section VI-A).
+	K int
+	// DisablePruning switches updates from Inc-SR (Algorithm 2) to
+	// Inc-uSR (Algorithm 1). The results are identical; only the work
+	// differs. Mostly useful for benchmarking the pruning itself.
+	DisablePruning bool
+	// RecomputeThreshold is the batch-update crossover: when ApplyBatch
+	// receives at least this fraction of |E| in one call, it recomputes
+	// from scratch instead of folding unit updates (Exp-1 shows the
+	// incremental path wins only while link updates are small). 0 selects
+	// the default 0.15; set ≥ 1 to always fold incrementally.
+	RecomputeThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.K == 0 {
+		o.K = 15
+	}
+	if o.RecomputeThreshold == 0 {
+		o.RecomputeThreshold = 0.15
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("simrank: damping factor C=%v outside (0,1)", o.C)
+	}
+	if o.K < 1 {
+		return fmt.Errorf("simrank: iteration count K=%d < 1", o.K)
+	}
+	return nil
+}
+
+// Engine maintains a directed graph together with its (matrix-form)
+// SimRank similarities, updating them incrementally as links change.
+// It is not safe for concurrent mutation; wrap with a lock if shared.
+type Engine struct {
+	opts Options
+	g    *graph.DiGraph
+	s    *matrix.Dense
+	// lastStats records the most recent incremental update's work.
+	lastStats UpdateStats
+}
+
+// NewEngine builds an engine over n nodes with the given initial edges and
+// computes the initial similarities with the batch algorithm.
+func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("simrank: negative node count %d", n)
+	}
+	g := graph.FromEdges(n, edges)
+	return &Engine{
+		opts: opts,
+		g:    g,
+		s:    batch.MatrixFormQ(g.BackwardTransition(), opts.C, opts.K),
+	}, nil
+}
+
+// N returns the number of nodes.
+func (e *Engine) N() int { return e.g.N() }
+
+// M returns the number of edges.
+func (e *Engine) M() int { return e.g.M() }
+
+// HasEdge reports whether edge (i, j) is present.
+func (e *Engine) HasEdge(i, j int) bool { return e.g.HasEdge(i, j) }
+
+// Similarity returns the current SimRank score s(a, b).
+func (e *Engine) Similarity(a, b int) float64 { return e.s.At(a, b) }
+
+// Similarities returns the full similarity matrix. The returned matrix is
+// a snapshot copy; mutating it does not affect the engine.
+func (e *Engine) Similarities() *matrix.Dense { return e.s.Clone() }
+
+// TopK returns the k most similar distinct node-pairs.
+func (e *Engine) TopK(k int) []Pair { return metrics.TopKPairs(e.s, k) }
+
+// TopKFor returns up to k nodes most similar to node a, highest first.
+func (e *Engine) TopKFor(a, k int) []Pair {
+	row := e.s.Row(a)
+	var pairs []Pair
+	for b, v := range row {
+		if b != a && v != 0 {
+			pairs = append(pairs, Pair{A: a, B: b, Score: v})
+		}
+	}
+	// Highest score first; ties by node id.
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && (pairs[j].Score > pairs[j-1].Score ||
+			(pairs[j].Score == pairs[j-1].Score && pairs[j].B < pairs[j-1].B)); j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	return pairs[:k]
+}
+
+// Insert adds edge (i, j) and incrementally updates all similarities.
+func (e *Engine) Insert(i, j int) (UpdateStats, error) {
+	return e.Apply(Update{Edge: Edge{From: i, To: j}, Insert: true})
+}
+
+// Delete removes edge (i, j) and incrementally updates all similarities.
+func (e *Engine) Delete(i, j int) (UpdateStats, error) {
+	return e.Apply(Update{Edge: Edge{From: i, To: j}, Insert: false})
+}
+
+// Apply performs one unit update incrementally (Inc-SR, or Inc-uSR when
+// pruning is disabled).
+func (e *Engine) Apply(up Update) (UpdateStats, error) {
+	// The in-place variants never mutate S before their last error check,
+	// so a failed update leaves the engine untouched.
+	var (
+		st  UpdateStats
+		err error
+	)
+	if e.opts.DisablePruning {
+		st, err = core.IncUSRInPlace(e.g, e.s, up, e.opts.C, e.opts.K)
+	} else {
+		st, err = core.IncSRInPlace(e.g, e.s, up, e.opts.C, e.opts.K)
+	}
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	e.g.Apply(up)
+	e.lastStats = st
+	return st, nil
+}
+
+// ApplyBatch folds a batch of unit updates. When the batch is large
+// relative to the edge count (≥ RecomputeThreshold·|E|), it applies the
+// graph changes and recomputes from scratch, which Exp-1 shows is the
+// faster regime. Every update must be applicable in sequence.
+func (e *Engine) ApplyBatch(ups []Update) error {
+	if len(ups) == 0 {
+		return nil
+	}
+	denom := e.g.M()
+	if denom == 0 {
+		denom = 1
+	}
+	if float64(len(ups)) >= e.opts.RecomputeThreshold*float64(denom) {
+		for _, up := range ups {
+			if up.Insert == e.g.HasEdge(up.Edge.From, up.Edge.To) {
+				return &core.ErrBadUpdate{Update: up, Reason: "not applicable in sequence"}
+			}
+			e.g.Apply(up)
+		}
+		e.Recompute()
+		return nil
+	}
+	for _, up := range ups {
+		if _, err := e.Apply(up); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddNodes appends count isolated nodes and returns the id of the first
+// new one. The similarity matrix is extended exactly, not recomputed: an
+// isolated node v has s(v, v) = 1−C and s(v, ·) = 0 in the matrix form,
+// so the padded matrix is the new graph's exact fixed point.
+func (e *Engine) AddNodes(count int) (first int, err error) {
+	if count < 0 {
+		return 0, fmt.Errorf("simrank: negative node count %d", count)
+	}
+	oldN := e.g.N()
+	first = e.g.AddNodes(count)
+	n := oldN + count
+	next := matrix.NewDense(n, n)
+	for r := 0; r < oldN; r++ {
+		copy(next.Row(r)[:oldN], e.s.Row(r))
+	}
+	for v := oldN; v < n; v++ {
+		next.Set(v, v, 1-e.opts.C)
+	}
+	e.s = next
+	return first, nil
+}
+
+// Recompute rebuilds the similarities from scratch with the batch
+// algorithm (the engine's safety valve; never needed for correctness).
+func (e *Engine) Recompute() {
+	e.s = batch.MatrixFormQ(e.g.BackwardTransition(), e.opts.C, e.opts.K)
+}
+
+// LastStats returns the statistics of the most recent incremental update.
+func (e *Engine) LastStats() UpdateStats { return e.lastStats }
+
+// SingleSourceScores computes s(query, ·) for a graph directly, without
+// building an engine or the n×n similarity matrix — O(K²·m) time, O(n)
+// memory. Useful for one-off queries on graphs too large to score fully.
+func SingleSourceScores(n int, edges []Edge, query int, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := graph.FromEdges(n, edges)
+	return batch.SingleSource(g.BackwardTransition(), opts.C, opts.K, query)
+}
+
+// Options returns the engine's effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }

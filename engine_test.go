@@ -1,0 +1,294 @@
+package simrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/batch"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+func mustEngine(t *testing.T, n int, edges []Edge, opts Options) *Engine {
+	t.Helper()
+	e, err := NewEngine(n, edges, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineDefaults(t *testing.T) {
+	e := mustEngine(t, 3, nil, Options{})
+	o := e.Options()
+	if o.C != 0.6 || o.K != 15 || o.RecomputeThreshold != 0.15 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(-1, nil, Options{}); err == nil {
+		t.Fatal("want error for negative n")
+	}
+	if _, err := NewEngine(3, nil, Options{C: 2}); err == nil {
+		t.Fatal("want error for C out of range")
+	}
+	if _, err := NewEngine(3, nil, Options{K: -5}); err == nil {
+		t.Fatal("want error for negative K")
+	}
+}
+
+func TestEngineBatchScores(t *testing.T) {
+	// 0→1, 0→2: matrix-form s(1,2) = C(1−C).
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}, {From: 0, To: 2}}, Options{C: 0.8})
+	if got, want := e.Similarity(1, 2), 0.8*0.2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("s(1,2) = %v, want %v", got, want)
+	}
+	if e.N() != 3 || e.M() != 2 || !e.HasEdge(0, 1) {
+		t.Fatal("graph accessors wrong")
+	}
+}
+
+func TestEngineInsertMatchesRebuild(t *testing.T) {
+	e := mustEngine(t, 5, []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 2}}, Options{C: 0.6, K: 40})
+	st, err := e.Insert(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AffectedPairs <= 0 {
+		t.Fatal("insert should affect some pairs")
+	}
+	fresh := mustEngine(t, 5, []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 2}, {From: 1, To: 2}}, Options{C: 0.6, K: 40})
+	if d := matrix.MaxAbsDiff(e.Similarities(), fresh.Similarities()); d > 1e-9 {
+		t.Fatalf("incremental insert drifted %g from rebuild", d)
+	}
+}
+
+func TestEngineDeleteMatchesRebuild(t *testing.T) {
+	e := mustEngine(t, 5, []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 2}}, Options{C: 0.6, K: 40})
+	if _, err := e.Delete(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustEngine(t, 5, []Edge{{From: 0, To: 1}, {From: 0, To: 2}}, Options{C: 0.6, K: 40})
+	if d := matrix.MaxAbsDiff(e.Similarities(), fresh.Similarities()); d > 1e-9 {
+		t.Fatalf("incremental delete drifted %g from rebuild", d)
+	}
+}
+
+func TestEngineErrorsLeaveStateIntact(t *testing.T) {
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}}, Options{})
+	before := e.Similarities()
+	if _, err := e.Insert(0, 1); err == nil {
+		t.Fatal("want error for duplicate insert")
+	}
+	if _, err := e.Delete(1, 2); err == nil {
+		t.Fatal("want error for absent delete")
+	}
+	if matrix.MaxAbsDiff(before, e.Similarities()) != 0 || e.M() != 1 {
+		t.Fatal("failed update must not mutate state")
+	}
+}
+
+func TestEngineDisablePruningSameResult(t *testing.T) {
+	edges := []Edge{{From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 0}}
+	a := mustEngine(t, 5, edges, Options{C: 0.6, K: 30})
+	b := mustEngine(t, 5, edges, Options{C: 0.6, K: 30, DisablePruning: true})
+	if _, err := a.Insert(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Insert(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(a.Similarities(), b.Similarities()); d > 1e-9 {
+		t.Fatalf("pruned and unpruned engines differ by %g", d)
+	}
+}
+
+func TestEngineTopK(t *testing.T) {
+	e := mustEngine(t, 4, []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 1}, {From: 3, To: 2}}, Options{C: 0.8})
+	top := e.TopK(1)
+	if len(top) != 1 {
+		t.Fatalf("TopK len %d", len(top))
+	}
+	if !(top[0].A == 1 && top[0].B == 2) {
+		t.Fatalf("top pair = %+v, want (1,2)", top[0])
+	}
+	forNode := e.TopKFor(1, 2)
+	if len(forNode) == 0 || forNode[0].B != 2 {
+		t.Fatalf("TopKFor = %+v", forNode)
+	}
+}
+
+func TestEngineApplyBatchSmallIncremental(t *testing.T) {
+	edges := []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}, {From: 3, To: 4}, {From: 4, To: 0}, {From: 1, To: 2}}
+	e := mustEngine(t, 6, edges, Options{C: 0.6, K: 30, RecomputeThreshold: 0.9})
+	ups := []Update{
+		{Edge: Edge{From: 5, To: 3}, Insert: true},
+	}
+	if err := e.ApplyBatch(ups); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustEngine(t, 6, append(edges, Edge{From: 5, To: 3}), Options{C: 0.6, K: 30})
+	// Tolerance covers the K=30 truncation error of the old S (≈ C³¹)
+	// flowing through the incremental update.
+	if d := matrix.MaxAbsDiff(e.Similarities(), fresh.Similarities()); d > 1e-6 {
+		t.Fatalf("batch drifted %g", d)
+	}
+}
+
+func TestEngineApplyBatchLargeRecomputes(t *testing.T) {
+	edges := []Edge{{From: 0, To: 1}, {From: 1, To: 2}}
+	e := mustEngine(t, 4, edges, Options{C: 0.6, K: 30, RecomputeThreshold: 0.1})
+	// 2 updates ≥ 0.1·2 edges → recompute path.
+	ups := []Update{
+		{Edge: Edge{From: 2, To: 3}, Insert: true},
+		{Edge: Edge{From: 0, To: 1}, Insert: false},
+	}
+	if err := e.ApplyBatch(ups); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustEngine(t, 4, []Edge{{From: 1, To: 2}, {From: 2, To: 3}}, Options{C: 0.6, K: 30})
+	if d := matrix.MaxAbsDiff(e.Similarities(), fresh.Similarities()); d > 1e-12 {
+		t.Fatalf("recompute path drifted %g", d)
+	}
+}
+
+func TestEngineApplyBatchBadSequence(t *testing.T) {
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}}, Options{RecomputeThreshold: 0.01})
+	ups := []Update{{Edge: Edge{From: 0, To: 1}, Insert: true}} // already present
+	if err := e.ApplyBatch(ups); err == nil {
+		t.Fatal("want error for inapplicable batch")
+	}
+}
+
+func TestEngineApplyBatchEmpty(t *testing.T) {
+	e := mustEngine(t, 3, nil, Options{})
+	if err := e.ApplyBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineSimilaritiesIsSnapshot(t *testing.T) {
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}}, Options{})
+	snap := e.Similarities()
+	snap.Set(0, 1, 99)
+	if e.Similarity(0, 1) == 99 {
+		t.Fatal("Similarities must return a copy")
+	}
+}
+
+func TestEngineRecompute(t *testing.T) {
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}}, Options{})
+	before := e.Similarities()
+	e.Recompute()
+	if matrix.MaxAbsDiff(before, e.Similarities()) != 0 {
+		t.Fatal("recompute of unchanged graph must be a fixed point")
+	}
+}
+
+// Property: a random walk of engine updates tracks batch recomputation.
+func TestQuickEngineTracksBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		g := graph.New(n)
+		for g.M() < 2*n {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		e, err := NewEngine(n, g.Edges(), Options{C: 0.6, K: 50, RecomputeThreshold: 10})
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 5; step++ {
+			var up Update
+			if g.M() > 0 && rng.Intn(2) == 0 {
+				es := g.Edges()
+				up = Update{Edge: es[rng.Intn(len(es))], Insert: false}
+			} else {
+				for {
+					c := Edge{From: rng.Intn(n), To: rng.Intn(n)}
+					if !g.HasEdge(c.From, c.To) {
+						up = Update{Edge: c, Insert: true}
+						break
+					}
+				}
+			}
+			if _, err := e.Apply(up); err != nil {
+				return false
+			}
+			g.Apply(up)
+		}
+		want := batch.MatrixForm(g, 0.6, 50)
+		return matrix.MaxAbsDiff(e.Similarities(), want) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineAddNodes(t *testing.T) {
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}, {From: 0, To: 2}}, Options{C: 0.8, K: 30})
+	first, err := e.AddNodes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 || e.N() != 5 {
+		t.Fatalf("first=%d N=%d", first, e.N())
+	}
+	// Padded matrix must be the exact fixed point of the padded graph.
+	fresh := mustEngine(t, 5, []Edge{{From: 0, To: 1}, {From: 0, To: 2}}, Options{C: 0.8, K: 30})
+	if d := matrix.MaxAbsDiff(e.Similarities(), fresh.Similarities()); d > 1e-12 {
+		t.Fatalf("padding drifted %g from rebuild", d)
+	}
+	// And the engine keeps updating incrementally across the growth.
+	if _, err := e.Insert(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	fresh2 := mustEngine(t, 5, []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}}, Options{C: 0.8, K: 30})
+	if d := matrix.MaxAbsDiff(e.Similarities(), fresh2.Similarities()); d > 1e-6 {
+		t.Fatalf("post-growth update drifted %g", d)
+	}
+}
+
+func TestEngineAddNodesNegative(t *testing.T) {
+	e := mustEngine(t, 2, nil, Options{})
+	if _, err := e.AddNodes(-1); err == nil {
+		t.Fatal("want error for negative count")
+	}
+}
+
+func TestEngineAddNodesZero(t *testing.T) {
+	e := mustEngine(t, 2, []Edge{{From: 0, To: 1}}, Options{})
+	before := e.Similarities()
+	if _, err := e.AddNodes(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 2 || matrix.MaxAbsDiff(before, e.Similarities()) != 0 {
+		t.Fatal("AddNodes(0) must be a no-op")
+	}
+}
+
+func TestSingleSourceScores(t *testing.T) {
+	edges := []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 2}}
+	col, err := SingleSourceScores(4, edges, 1, Options{C: 0.8, K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mustEngine(t, 4, edges, Options{C: 0.8, K: 20})
+	for b := 0; b < 4; b++ {
+		if math.Abs(col[b]-eng.Similarity(1, b)) > 1e-10 {
+			t.Fatalf("col[%d] = %v, want %v", b, col[b], eng.Similarity(1, b))
+		}
+	}
+	if _, err := SingleSourceScores(4, edges, 9, Options{}); err == nil {
+		t.Fatal("want error for out-of-range query")
+	}
+	if _, err := SingleSourceScores(4, edges, 0, Options{C: 3}); err == nil {
+		t.Fatal("want error for bad options")
+	}
+}

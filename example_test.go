@@ -1,0 +1,52 @@
+package simrank_test
+
+import (
+	"fmt"
+
+	simrank "repro"
+)
+
+// Build an engine over a citation graph and read a similarity score.
+func ExampleNewEngine() {
+	// Paper 2 cites papers 0 and 1, so 0 and 1 are co-cited.
+	eng, err := simrank.NewEngine(3, []simrank.Edge{
+		{From: 2, To: 0}, {From: 2, To: 1},
+	}, simrank.Options{C: 0.8, K: 20})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("s(0,1) = %.3f\n", eng.Similarity(0, 1))
+	// Output: s(0,1) = 0.160
+}
+
+// Insert a link and watch the affected similarities update incrementally.
+func ExampleEngine_Insert() {
+	eng, err := simrank.NewEngine(4, []simrank.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2},
+	}, simrank.Options{C: 0.8, K: 20})
+	if err != nil {
+		panic(err)
+	}
+	stats, err := eng.Insert(0, 3) // node 3 joins the co-cited set
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("s(1,3) = %.3f, affected pairs: %d\n", eng.Similarity(1, 3), stats.AffectedPairs)
+	// Output: s(1,3) = 0.160, affected pairs: 5
+}
+
+// Rank the most similar node-pairs.
+func ExampleEngine_TopK() {
+	eng, err := simrank.NewEngine(5, []simrank.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, // 1,2 co-cited by 0
+		{From: 3, To: 1}, // 1 also cited by 3
+		{From: 4, To: 3},
+	}, simrank.Options{C: 0.8, K: 20})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range eng.TopK(1) {
+		fmt.Printf("(%d,%d) %.3f\n", p.A, p.B, p.Score)
+	}
+	// Output: (1,2) 0.080
+}

@@ -1,0 +1,262 @@
+// Package batch implements the batch (from-scratch) SimRank algorithms the
+// paper builds on and compares against:
+//
+//   - JehWidom: the original O(Kd²n²) iterative fixed point [3];
+//   - PartialSums: Lizorkin et al.'s O(Kdn²) partial-sums memoization [13];
+//   - PartialSumsShared: Yu et al.'s fine-grained sharing of common partial
+//     sums [6] — the algorithm the paper calls "Batch";
+//   - MatrixForm: the power iteration on S = C·Q·S·Qᵀ + (1−C)·Iₙ (Eq. 2),
+//     the representation the incremental machinery of internal/core is
+//     derived from.
+//
+// JehWidom, PartialSums and PartialSumsShared compute the *iterative form*
+// (s(a,a) = 1 pinned); MatrixForm computes the *matrix form*, whose diagonal
+// is ≥ 1−C but not 1 (the two forms' consistency is discussed in [1]).
+package batch
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// validate panics on parameter misuse common to all algorithms.
+func validate(g *graph.DiGraph, c float64, k int) {
+	if g == nil {
+		panic("batch: nil graph")
+	}
+	if c <= 0 || c >= 1 {
+		panic(fmt.Sprintf("batch: damping factor C=%v outside (0,1)", c))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("batch: negative iteration count %d", k))
+	}
+}
+
+// JehWidom computes K iterations of the original SimRank recurrence
+// (Eq. 1): s(a,b) = C/(|I(a)||I(b)|) Σ_{i∈I(a)} Σ_{j∈I(b)} s(i,j) with
+// s(a,a)=1, s=0 when either node has no in-neighbors. O(Kd²n²) time.
+func JehWidom(g *graph.DiGraph, c float64, k int) *matrix.Dense {
+	validate(g, c, k)
+	n := g.N()
+	s := matrix.Identity(n)
+	next := matrix.NewDense(n, n)
+	ins := make([][]int, n)
+	for v := 0; v < n; v++ {
+		ins[v] = g.InNeighbors(v)
+	}
+	for iter := 0; iter < k; iter++ {
+		next.Zero()
+		for a := 0; a < n; a++ {
+			ia := ins[a]
+			if len(ia) == 0 {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				ib := ins[b]
+				if len(ib) == 0 {
+					continue
+				}
+				var sum float64
+				for _, i := range ia {
+					row := s.Row(i)
+					for _, j := range ib {
+						sum += row[j]
+					}
+				}
+				next.Set(a, b, c*sum/float64(len(ia)*len(ib)))
+			}
+		}
+		for d := 0; d < n; d++ {
+			next.Set(d, d, 1)
+		}
+		s, next = next, s
+	}
+	return s
+}
+
+// PartialSums computes the same iterative-form SimRank as JehWidom but in
+// O(Kdn²) time via Lizorkin et al.'s partial-sums memoization: for every
+// node a it first materializes Partial_a(j) = Σ_{i∈I(a)} s(i,j) for all j,
+// then every pair (a,b) reuses those row sums.
+func PartialSums(g *graph.DiGraph, c float64, k int) *matrix.Dense {
+	validate(g, c, k)
+	n := g.N()
+	s := matrix.Identity(n)
+	next := matrix.NewDense(n, n)
+	partial := matrix.NewDense(n, n) // partial[a][j] = Σ_{i∈I(a)} s(i,j)
+	ins := make([][]int, n)
+	for v := 0; v < n; v++ {
+		ins[v] = g.InNeighbors(v)
+	}
+	for iter := 0; iter < k; iter++ {
+		partial.Zero()
+		for a := 0; a < n; a++ {
+			row := partial.Row(a)
+			for _, i := range ins[a] {
+				matrix.Axpy(1, s.Row(i), row)
+			}
+		}
+		next.Zero()
+		for a := 0; a < n; a++ {
+			da := len(ins[a])
+			if da == 0 {
+				continue
+			}
+			prow := partial.Row(a)
+			nrow := next.Row(a)
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				db := len(ins[b])
+				if db == 0 {
+					continue
+				}
+				var sum float64
+				for _, j := range ins[b] {
+					sum += prow[j]
+				}
+				nrow[b] = c * sum / float64(da*db)
+			}
+		}
+		for d := 0; d < n; d++ {
+			next.Set(d, d, 1)
+		}
+		s, next = next, s
+	}
+	return s
+}
+
+// PartialSumsShared is the "Batch" comparator of the paper's Exp-1: it
+// augments PartialSums with Yu et al.-style fine-grained sharing — nodes
+// with identical in-neighbor sets share one partial-sum row instead of
+// recomputing it (O(Kd'n²) with d' ≤ d). The output is identical to
+// JehWidom/PartialSums.
+func PartialSumsShared(g *graph.DiGraph, c float64, k int) *matrix.Dense {
+	validate(g, c, k)
+	n := g.N()
+	s := matrix.Identity(n)
+	next := matrix.NewDense(n, n)
+	ins := make([][]int, n)
+	for v := 0; v < n; v++ {
+		ins[v] = g.InNeighbors(v)
+	}
+	// Group nodes by identical in-neighbor set: each group computes its
+	// partial-sum row once.
+	groupOf := make([]int, n)
+	var groupRep []int // representative node per group
+	seen := map[string]int{}
+	for v := 0; v < n; v++ {
+		key := fmt.Sprint(ins[v])
+		gid, ok := seen[key]
+		if !ok {
+			gid = len(groupRep)
+			seen[key] = gid
+			groupRep = append(groupRep, v)
+		}
+		groupOf[v] = gid
+	}
+	partial := matrix.NewDense(len(groupRep), n)
+	for iter := 0; iter < k; iter++ {
+		partial.Zero()
+		for gid, rep := range groupRep {
+			row := partial.Row(gid)
+			for _, i := range ins[rep] {
+				matrix.Axpy(1, s.Row(i), row)
+			}
+		}
+		next.Zero()
+		for a := 0; a < n; a++ {
+			da := len(ins[a])
+			if da == 0 {
+				continue
+			}
+			prow := partial.Row(groupOf[a])
+			nrow := next.Row(a)
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				db := len(ins[b])
+				if db == 0 {
+					continue
+				}
+				var sum float64
+				for _, j := range ins[b] {
+					sum += prow[j]
+				}
+				nrow[b] = c * sum / float64(da*db)
+			}
+		}
+		for d := 0; d < n; d++ {
+			next.Set(d, d, 1)
+		}
+		s, next = next, s
+	}
+	return s
+}
+
+// MatrixForm computes K iterations of the matrix-form SimRank fixed point
+// (Eq. 2): S ← C·Q·S·Qᵀ + (1−C)·Iₙ starting from S₀ = (1−C)·Iₙ, i.e. the
+// K-th partial sum of the series (Eq. 34)
+//
+//	S = (1−C)·Σ_k C^k·Q^k·(Qᵀ)^k.
+//
+// O(Kdn²) time via two sparse-dense products per iteration.
+func MatrixForm(g *graph.DiGraph, c float64, k int) *matrix.Dense {
+	validate(g, c, k)
+	q := g.BackwardTransition()
+	return MatrixFormQ(q, c, k)
+}
+
+// MatrixFormQ is MatrixForm for a pre-built transition matrix Q.
+func MatrixFormQ(q *matrix.CSR, c float64, k int) *matrix.Dense {
+	n := q.RowsN
+	s := matrix.Identity(n).Scale(1 - c)
+	tmp := matrix.NewDense(n, n)
+	for iter := 0; iter < k; iter++ {
+		// tmp = Q·S  (row i of tmp = Σ_k Q[i][k]·S[k][·])
+		spMulDense(tmp, q, s)
+		// s = C·(Q·Sᵀ-style second product) + (1−C)·I:
+		// (Q·S·Qᵀ) = (Q·(Q·S)ᵀ)ᵀ, and Q·S·Qᵀ is symmetric when S is,
+		// so we can write the result directly.
+		next := matrix.NewDense(n, n)
+		spMulDenseT(next, q, tmp)
+		next.Scale(c)
+		for d := 0; d < n; d++ {
+			next.Add(d, d, 1-c)
+		}
+		s = next
+	}
+	return s
+}
+
+// spMulDense computes dst = q·s for CSR q and dense s.
+func spMulDense(dst *matrix.Dense, q *matrix.CSR, s *matrix.Dense) {
+	dst.Zero()
+	for i := 0; i < q.RowsN; i++ {
+		drow := dst.Row(i)
+		for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
+			matrix.Axpy(q.Val[kk], s.Row(q.ColIdx[kk]), drow)
+		}
+	}
+}
+
+// spMulDenseT computes dst = (q·tᵀ)ᵀ = t·qᵀ for CSR q and dense t.
+func spMulDenseT(dst *matrix.Dense, q *matrix.CSR, t *matrix.Dense) {
+	dst.Zero()
+	// dst[a][i] = Σ_k q[i][k]·t[a][k] → iterate rows of q, scatter columns.
+	for i := 0; i < q.RowsN; i++ {
+		for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
+			col, v := q.ColIdx[kk], q.Val[kk]
+			for a := 0; a < t.Rows; a++ {
+				dst.Data[a*dst.Cols+i] += v * t.Data[a*t.Cols+col]
+			}
+		}
+	}
+}

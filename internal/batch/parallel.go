@@ -1,0 +1,86 @@
+package batch
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// MatrixFormParallel computes the same matrix-form fixed point as
+// MatrixFormQ with the two sparse-dense products of each iteration
+// row-partitioned across workers — the CPU analogue of He et al.'s
+// parallel SimRank aggregation [8], which the paper's related work
+// contrasts with its pruning approach. workers ≤ 0 selects GOMAXPROCS.
+//
+// The output is bit-identical to MatrixFormQ: each output row is the same
+// left-to-right accumulation, only computed on a different goroutine.
+func MatrixFormParallel(q *matrix.CSR, c float64, k, workers int) *matrix.Dense {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := q.RowsN
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return MatrixFormQ(q, c, k)
+	}
+	s := matrix.Identity(n).Scale(1 - c)
+	tmp := matrix.NewDense(n, n)
+	next := matrix.NewDense(n, n)
+	for iter := 0; iter < k; iter++ {
+		// tmp = Q·S, rows split across workers.
+		parallelRows(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				drow := tmp.Row(i)
+				for x := range drow {
+					drow[x] = 0
+				}
+				for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
+					matrix.Axpy(q.Val[kk], s.Row(q.ColIdx[kk]), drow)
+				}
+			}
+		})
+		// next = C·(tmp·Qᵀ) + (1−C)·I; row a of the result reads only
+		// row a of tmp, so the same row partition is race-free.
+		parallelRows(n, workers, func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				trow := tmp.Row(a)
+				nrow := next.Row(a)
+				for x := range nrow {
+					nrow[x] = 0
+				}
+				for i := 0; i < n; i++ {
+					var sum float64
+					for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
+						sum += q.Val[kk] * trow[q.ColIdx[kk]]
+					}
+					nrow[i] = c * sum
+				}
+				nrow[a] += 1 - c
+			}
+		})
+		s, next = next, s
+	}
+	return s
+}
+
+// parallelRows runs fn over [0, n) split into contiguous chunks, one per
+// worker, and waits for completion.
+func parallelRows(n, workers int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

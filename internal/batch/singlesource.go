@@ -1,0 +1,42 @@
+package batch
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// SingleSource computes one column of the matrix-form SimRank,
+// [S]_{·,q} = (1−C)·Σ_k C^k·Q^k·(Qᵀ)^k·e_q, without materializing the n×n
+// matrix — the query shape of Fujiwara et al. [9] ("top-k similar nodes
+// in O(n) space"). Each series term reuses the previous back-walk vector
+// (Qᵀ)^k·e_q and pays k forward multiplications, so the total cost is
+// O(K²·m) time and O(n) memory.
+func SingleSource(q *matrix.CSR, c float64, k, query int) ([]float64, error) {
+	n := q.RowsN
+	if query < 0 || query >= n {
+		return nil, fmt.Errorf("batch: query node %d out of range [0,%d)", query, n)
+	}
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("batch: damping factor %v outside (0,1)", c)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("batch: negative iteration count %d", k)
+	}
+	out := make([]float64, n)
+	// k = 0 term: (1−C)·e_q.
+	out[query] = 1 - c
+	back := matrix.UnitVec(n, query) // (Qᵀ)^t · e_q
+	ck := 1.0
+	for t := 1; t <= k; t++ {
+		back = q.MulVecT(back)
+		ck *= c
+		// Forward: fwd = Q^t · back.
+		fwd := matrix.CloneVec(back)
+		for s := 0; s < t; s++ {
+			fwd = q.MulVec(fwd)
+		}
+		matrix.Axpy((1-c)*ck, fwd, out)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// Stats reports the work done by one incremental update.
+type Stats struct {
+	// Iterations actually performed (K).
+	Iterations int
+	// AffectedPairs is the number of node-pairs whose similarity the
+	// algorithm touched: nnz(M_K + M_Kᵀ). For Inc-uSR this is counted
+	// post hoc over the dense M; for Inc-SR it is the size of the pruned
+	// support — the paper's |AFF|.
+	AffectedPairs int
+	// FrontierArea is Σ_k |A_k|·|B_k| / (K+1): the average per-iteration
+	// affected area (Fig. 2e's numerator). Zero for Inc-uSR, which has no
+	// frontier (every pair is visited).
+	FrontierArea float64
+	// AuxFloats estimates the intermediate memory used, in float64 counts
+	// (Fig. 3's "intermediate space": auxiliary vectors plus M, excluding
+	// the n² similarity output itself).
+	AuxFloats int
+}
+
+// lambda computes the scalar λ of Eq. (29):
+// λ = [S]_{i,i} + (1/C)[S]_{j,j} − 2·[w]_j − 1/C + 1, where w = Q·[S]_{·,i}.
+func lambda(s *matrix.Dense, i, j int, wj, c float64) float64 {
+	return s.At(i, i) + s.At(j, j)/c - 2*wj - 1/c + 1
+}
+
+// gammaDense builds the auxiliary vector γ of Theorem 3 (Eqs. 27–28) given
+// the memoized w = Q·[S]_{·,i}, the scalar λ, the old S, and the update.
+// dj is the in-degree of j in the old graph.
+func gammaDense(s *matrix.Dense, w []float64, lam float64, up graph.Update, dj int, c float64) []float64 {
+	n := s.Rows
+	i, j := up.Edge.From, up.Edge.To
+	gam := make([]float64, n)
+	if up.Insert {
+		if dj == 0 {
+			// γ = w + ½[S]_{i,i}·e_j
+			copy(gam, w)
+			gam[j] += 0.5 * s.At(i, i)
+			return gam
+		}
+		// γ = 1/(d_j+1)·( w − (1/C)[S]_{·,j} + (λ/(2(d_j+1)) + 1/C − 1)·e_j )
+		f := 1 / float64(dj+1)
+		for b := 0; b < n; b++ {
+			gam[b] = f * (w[b] - s.At(b, j)/c)
+		}
+		gam[j] += f * (lam/(2*float64(dj+1)) + 1/c - 1)
+		return gam
+	}
+	if dj == 1 {
+		// γ = ½[S]_{i,i}·e_j − w
+		for b := 0; b < n; b++ {
+			gam[b] = -w[b]
+		}
+		gam[j] += 0.5 * s.At(i, i)
+		return gam
+	}
+	// γ = 1/(d_j−1)·( (1/C)[S]_{·,j} − w + (λ/(2(d_j−1)) − 1/C + 1)·e_j )
+	f := 1 / float64(dj-1)
+	for b := 0; b < n; b++ {
+		gam[b] = f * (s.At(b, j)/c - w[b])
+	}
+	gam[j] += f * (lam/(2*float64(dj-1)) - 1/c + 1)
+	return gam
+}
+
+// IncUSR is Algorithm 1 (Inc-uSR): given the old graph g, its matrix-form
+// similarities s, a unit update, the damping factor c ∈ (0,1) and the
+// iteration count k, it returns the new similarity matrix for g ⊕ update
+// without any matrix-matrix multiplication.
+//
+// g and s are not modified; the caller applies the update to g afterwards
+// (or uses the public facade, which does both).
+func IncUSR(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64, k int) (*matrix.Dense, Stats, error) {
+	out := s.Clone()
+	st, err := IncUSRInPlace(g, out, up, c, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return out, st, nil
+}
+
+// IncUSRInPlace is IncUSR mutating s directly, sparing the Θ(n²)
+// defensive copy of the non-mutating wrapper.
+func IncUSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64, k int) (Stats, error) {
+	n := g.N()
+	if s.Rows != n || s.Cols != n {
+		return Stats{}, &ErrBadUpdate{up, "similarity matrix size mismatch"}
+	}
+	ro, err := Decompose(g, up)
+	if err != nil {
+		return Stats{}, err
+	}
+	i, j := up.Edge.From, up.Edge.To
+	dj := g.InDegree(j)
+	q := g.BackwardTransition()
+
+	// Lines 3–4: w := Q·[S]_{·,i};  λ := [S]_{i,i} + [S]_{j,j}/C − 2[w]_j − 1/C + 1.
+	w := q.MulVec(s.Col(i))
+	lam := lambda(s, i, j, w[j], c)
+
+	// Lines 5–12: γ per Theorem 3.
+	gam := gammaDense(s, w, lam, up, dj, c)
+
+	// Lines 13–17: iterate ξ, η; accumulate M = Σ ξ_k·η_kᵀ.
+	// Q̃·x is applied implicitly as Q·x + (vᵀx)·u (Theorem 1).
+	xi := make([]float64, n)
+	xi[j] = c
+	eta := matrix.CloneVec(gam)
+	m := matrix.NewDense(n, n)
+	matrix.AddOuter(m, c, matrix.UnitVec(n, j), gam)
+	uj, uv := j, ro.U.At(j) // u = uv·e_j
+	for iter := 0; iter < k; iter++ {
+		vxi := ro.V.Dot(xi)
+		xiNext := q.MulVec(xi)
+		matrix.ScaleVec(c, xiNext)
+		xiNext[uj] += c * vxi * uv
+
+		veta := ro.V.Dot(eta)
+		etaNext := q.MulVec(eta)
+		etaNext[uj] += veta * uv
+
+		matrix.AddOuter(m, 1, xiNext, etaNext)
+		xi, eta = xiNext, etaNext
+	}
+
+	// Line 18: S̃ := S + M_K + M_Kᵀ. All reads of the old S happened in
+	// the preprocessing above, so mutating in place is safe.
+	affected := 0
+	for a := 0; a < n; a++ {
+		mrow := m.Row(a)
+		orow := s.Row(a)
+		for b := 0; b < n; b++ {
+			d := mrow[b] + m.At(b, a)
+			if d > ZeroTol || d < -ZeroTol {
+				affected++
+			}
+			orow[b] += d
+		}
+	}
+	st := Stats{
+		Iterations:    k,
+		AffectedPairs: affected,
+		AuxFloats:     n*n + 4*n, // M plus ξ, η, w, γ
+	}
+	return st, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// RankOne is the rank-one decomposition ΔQ = u·vᵀ of the transition-matrix
+// change caused by one unit link update (Theorem 1). Both vectors are
+// sparse: u has a single entry at j; v has at most d_j+1 entries.
+type RankOne struct {
+	U, V *SparseVec
+}
+
+// ErrBadUpdate reports an update that does not apply to the given graph
+// (inserting an existing edge, or deleting an absent one).
+type ErrBadUpdate struct {
+	Update graph.Update
+	Reason string
+}
+
+func (e *ErrBadUpdate) Error() string {
+	return fmt.Sprintf("core: update %v: %s", e.Update, e.Reason)
+}
+
+// Decompose computes u, v with ΔQ = u·vᵀ for the unit update up applied to
+// the old graph g (Theorem 1, Eqs. 17–18).
+//
+// Insertion of (i, j):
+//
+//	d_j = 0: u = e_j,          v = e_i
+//	d_j > 0: u = e_j/(d_j+1),  v = e_i − [Q]ᵀ_{j,·}
+//
+// Deletion of (i, j):
+//
+//	d_j = 1: u = e_j,          v = −e_i
+//	d_j > 1: u = e_j/(d_j−1),  v = [Q]ᵀ_{j,·} − e_i
+func Decompose(g *graph.DiGraph, up graph.Update) (RankOne, error) {
+	i, j := up.Edge.From, up.Edge.To
+	n := g.N()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return RankOne{}, &ErrBadUpdate{up, "node out of range"}
+	}
+	dj := g.InDegree(j)
+	u := NewSparseVec(n)
+	v := NewSparseVec(n)
+	if up.Insert {
+		if g.HasEdge(i, j) {
+			return RankOne{}, &ErrBadUpdate{up, "edge already present"}
+		}
+		if dj == 0 {
+			u.Set(j, 1)
+			v.Set(i, 1)
+		} else {
+			u.Set(j, 1/float64(dj+1))
+			v.Set(i, 1)
+			w := 1 / float64(dj)
+			g.EachInNeighbor(j, func(t int) {
+				v.Add(t, -w) // subtract [Q]_{j,t} = 1/d_j
+			})
+		}
+		return RankOne{U: u, V: v}, nil
+	}
+	if !g.HasEdge(i, j) {
+		return RankOne{}, &ErrBadUpdate{up, "edge absent"}
+	}
+	if dj == 1 {
+		u.Set(j, 1)
+		v.Set(i, -1)
+	} else {
+		u.Set(j, 1/float64(dj-1))
+		v.Set(i, -1)
+		w := 1 / float64(dj)
+		g.EachInNeighbor(j, func(t int) {
+			v.Add(t, w) // add [Q]_{j,t}
+		})
+	}
+	return RankOne{U: u, V: v}, nil
+}

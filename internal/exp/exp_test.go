@@ -1,0 +1,258 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// small returns fast-running datasets for harness tests.
+func small() []*gen.Dataset { return gen.SmallDatasets() }
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as float: %v", s, err)
+	}
+	return v
+}
+
+func TestFig1Table(t *testing.T) {
+	tb, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("Fig1 rows = %d, want 8", len(tb.Rows))
+	}
+	unchanged, changed, liDiffers := 0, 0, 0
+	for _, row := range tb.Rows {
+		if row[4] == "yes" {
+			unchanged++
+			continue
+		}
+		changed++
+		if row[2] != row[3] {
+			liDiffers++
+		}
+	}
+	if unchanged == 0 || changed == 0 {
+		t.Fatalf("Fig1 should mix changed and unchanged rows: %d / %d", changed, unchanged)
+	}
+	if liDiffers == 0 {
+		t.Fatal("Inc-SVD should disagree with the true scores on at least one changed pair")
+	}
+}
+
+func TestExp1RealShape(t *testing.T) {
+	d := small()[0]
+	tb, err := Exp1Real(d, []int{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 || len(tb.Header) != 5 {
+		t.Fatalf("shape: %d rows, %d cols", len(tb.Rows), len(tb.Header))
+	}
+	// |E|+|ΔE| strictly increases down the sweep.
+	e0 := parseF(t, tb.Rows[0][0])
+	e1 := parseF(t, tb.Rows[1][0])
+	if e1 <= e0 {
+		t.Fatalf("edge counts not increasing: %v, %v", e0, e1)
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if parseF(t, cell) < 0 {
+				t.Fatalf("negative time %q", cell)
+			}
+		}
+	}
+}
+
+func TestExp1RealSVDCrashOnLargeDataset(t *testing.T) {
+	d := small()[2] // YouTu-small: SVDFeasible=false
+	tb, err := Exp1Real(d, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][3] != "crash" {
+		t.Fatalf("Inc-SVD column = %q, want crash", tb.Rows[0][3])
+	}
+}
+
+func TestExp1SynBothDirections(t *testing.T) {
+	for _, insert := range []bool{true, false} {
+		tb, err := Exp1Syn(60, 4, 6, 2, insert, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) != 2 {
+			t.Fatalf("rows = %d", len(tb.Rows))
+		}
+		e0 := parseF(t, tb.Rows[0][0])
+		e1 := parseF(t, tb.Rows[1][0])
+		if insert && e1 <= e0 {
+			t.Fatal("insert sweep should grow |E|")
+		}
+		if !insert && e1 >= e0 {
+			t.Fatal("delete sweep should shrink |E|")
+		}
+	}
+}
+
+func TestFig2bHighRankFraction(t *testing.T) {
+	tb, err := Fig2b(small(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("Fig2b rows = %d, want 2 (SVD-feasible datasets only)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if v := parseF(t, cell); v < 30 || v > 100 {
+				t.Fatalf("%s: lossless rank %% = %v, expected a large fraction of n", row[0], v)
+			}
+		}
+	}
+}
+
+func TestExp2PruningSpeedupAndRatio(t *testing.T) {
+	tb, err := Exp2Pruning(small()[:2], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		pruned := parseF(t, row[4])
+		if pruned <= 0 || pruned >= 100 {
+			t.Fatalf("%s: pruned %% = %v out of range", row[0], pruned)
+		}
+		if parseF(t, row[3]) <= 0 {
+			t.Fatalf("%s: non-positive speedup", row[0])
+		}
+	}
+}
+
+func TestExp2AffectedSmallAndMildlyGrowing(t *testing.T) {
+	tb, err := Exp2Affected(small()[:1], []int{3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tb.Rows[0]
+	a0, a1 := parseF(t, row[1]), parseF(t, row[2])
+	if a0 <= 0 || a0 >= 100 || a1 <= 0 || a1 >= 100 {
+		t.Fatalf("affected %% out of range: %v %v", a0, a1)
+	}
+}
+
+func TestExp3MemoryOrdering(t *testing.T) {
+	tb, err := Exp3Memory(small(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		sr, usr := parseF(t, row[1]), parseF(t, row[2])
+		if sr > usr {
+			t.Fatalf("%s: Inc-SR memory %v should not exceed Inc-uSR %v", row[0], sr, usr)
+		}
+		if row[0] == "YouTu-small" {
+			for _, cell := range row[3:] {
+				if cell != "crash" {
+					t.Fatalf("Inc-SVD should crash on the largest dataset, got %q", cell)
+				}
+			}
+			continue
+		}
+		// Inc-SVD footprint must dominate the incremental algorithms and
+		// grow with the target rank.
+		svd5, svd25 := parseF(t, row[3]), parseF(t, row[5])
+		if svd5 <= sr {
+			t.Fatalf("%s: Inc-SVD(5) %v should exceed Inc-SR %v", row[0], svd5, sr)
+		}
+		if svd25 < svd5 {
+			t.Fatalf("%s: Inc-SVD memory should grow with rank: %v vs %v", row[0], svd5, svd25)
+		}
+	}
+}
+
+func TestExp4ExactnessOrdering(t *testing.T) {
+	tb, err := Exp4Exactness(small()[:2], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		sr5, sr15 := parseF(t, row[1]), parseF(t, row[2])
+		usr5, usr15 := parseF(t, row[3]), parseF(t, row[4])
+		svd15 := parseF(t, row[6])
+		if sr5 != usr5 || sr15 != usr15 {
+			t.Fatalf("%s: pruning must not change NDCG: %v/%v vs %v/%v", row[0], sr5, sr15, usr5, usr15)
+		}
+		if sr15 < 0.95 {
+			t.Fatalf("%s: Inc-SR(15) NDCG %v too low", row[0], sr15)
+		}
+		if svd15 >= sr15 {
+			t.Fatalf("%s: Inc-SVD(15) NDCG %v should trail Inc-SR(15) %v", row[0], svd15, sr15)
+		}
+	}
+}
+
+func TestRunAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run(&buf, "all", Config{Scale: ScaleSmall, Deltas: []int{3, 6}, PruningDelta: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"FIG1", "EXP1a", "FIG2b", "EXP1c", "EXP2d", "EXP2e", "EXP3", "EXP4", "CONV"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("output missing %s", id)
+		}
+	}
+}
+
+func TestConvergenceDecaysAndRespectsBound(t *testing.T) {
+	tb, err := Convergence(small()[0], 3, []int{5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e9
+	for _, row := range tb.Rows {
+		errV, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errV > bound+1e-12 {
+			t.Fatalf("K=%s: measured error %v exceeds bound %v", row[0], errV, bound)
+		}
+		if errV > prev+1e-12 {
+			t.Fatalf("K=%s: error did not decay (%v after %v)", row[0], errV, prev)
+		}
+		prev = errV
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "nope", Config{}); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "X", Caption: "c", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	out := tb.String()
+	if !strings.Contains(out, "== X — c") || !strings.Contains(out, "bb") {
+		t.Fatalf("render: %q", out)
+	}
+}

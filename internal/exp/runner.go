@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gen"
+)
+
+// Scale selects the size of the experiment datasets.
+type Scale int
+
+const (
+	// ScaleSmall uses the reduced datasets (fast; used by tests and the
+	// default benchmarks).
+	ScaleSmall Scale = iota
+	// ScaleFull uses the full-size dataset simulators (minutes of
+	// runtime; used by cmd/experiments -full).
+	ScaleFull
+)
+
+// Config parameterizes a full experiment run.
+type Config struct {
+	Scale Scale
+	// Deltas are the |ΔE| sweep sizes for EXP1a/FIG2b/EXP2e; nil selects
+	// a default per scale.
+	Deltas []int
+	// PruningDelta is the |ΔE| for EXP2d/EXP3/EXP4; 0 selects a default.
+	PruningDelta int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Deltas == nil {
+		if c.Scale == ScaleFull {
+			c.Deltas = []int{40, 80, 120, 160, 200}
+		} else {
+			c.Deltas = []int{5, 10, 15}
+		}
+	}
+	if c.PruningDelta == 0 {
+		if c.Scale == ScaleFull {
+			c.PruningDelta = 100
+		} else {
+			c.PruningDelta = 10
+		}
+	}
+	return c
+}
+
+func (c Config) datasets() []*gen.Dataset {
+	if c.Scale == ScaleFull {
+		return gen.Datasets()
+	}
+	return gen.SmallDatasets()
+}
+
+// Run executes the named experiment ("fig1", "exp1a", "fig2b", "exp1c",
+// "exp2", "exp2e", "exp3", "exp4", "conv" or "all") and renders its
+// tables to w.
+func Run(w io.Writer, name string, cfg Config) error {
+	cfg = cfg.withDefaults()
+	ds := cfg.datasets()
+	emit := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}
+	switch name {
+	case "fig1":
+		return emit(Fig1())
+	case "exp1a":
+		for _, d := range ds {
+			if err := emit(Exp1Real(d, cfg.Deltas)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig2b":
+		return emit(Fig2b(ds, cfg.Deltas))
+	case "exp1c":
+		n, outDeg, step, points := 150, 5, 8, 4
+		if cfg.Scale == ScaleFull {
+			n, outDeg, step, points = 800, 6, 50, 6
+		}
+		if err := emit(Exp1Syn(n, outDeg, step, points, true, 11)); err != nil {
+			return err
+		}
+		return emit(Exp1Syn(n, outDeg, step, points, false, 13))
+	case "exp2":
+		return emit(Exp2Pruning(ds, cfg.PruningDelta))
+	case "exp2e":
+		return emit(Exp2Affected(ds, cfg.Deltas))
+	case "exp3":
+		return emit(Exp3Memory(ds, cfg.PruningDelta))
+	case "exp4":
+		return emit(Exp4Exactness(ds, cfg.PruningDelta))
+	case "conv":
+		ks := []int{5, 10, 15, 20}
+		return emit(Convergence(ds[0], cfg.PruningDelta, ks))
+	case "all":
+		for _, sub := range []string{"fig1", "exp1a", "fig2b", "exp1c", "exp2", "exp2e", "exp3", "exp4", "conv"} {
+			if err := Run(w, sub, cfg); err != nil {
+				return fmt.Errorf("exp: %s: %w", sub, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("exp: unknown experiment %q", name)
+	}
+}

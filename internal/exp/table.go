@@ -1,0 +1,99 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Fig. 1's table, Fig. 2a–e, Fig. 3,
+// Fig. 4) as plain-text tables, at a configurable scale so the same code
+// backs unit tests, `go test -bench`, and the cmd/experiments binary.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment artifact: one table or one figure's
+// series, with a caption tying it back to the paper.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "FIG1",
+	// "EXP1a/DBLP-sim").
+	ID string
+	// Caption describes what the paper's corresponding artifact shows.
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// timeIt measures the wall-clock time of f.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// ms formats a duration in milliseconds with 1 decimal.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}
+
+// pct formats a percentage with 1 decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// f3 formats a float with 3 decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// mb converts a float64 count to mebibytes (8 bytes each).
+func mb(floats int) string {
+	return fmt.Sprintf("%.2f", float64(floats)*8/(1<<20))
+}

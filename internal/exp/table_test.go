@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatHelpers(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.5" {
+		t.Fatalf("ms = %q", got)
+	}
+	if got := pct(12.34); got != "12.3%" {
+		t.Fatalf("pct = %q", got)
+	}
+	if got := f3(0.5); got != "0.500" {
+		t.Fatalf("f3 = %q", got)
+	}
+	if got := mb(1 << 20); got != "8.00" { // 1M floats = 8 MiB
+		t.Fatalf("mb = %q", got)
+	}
+	if got := pad("ab", 4); got != "ab  " {
+		t.Fatalf("pad = %q", got)
+	}
+	if got := pad("abcd", 2); got != "abcd" {
+		t.Fatalf("pad overflow = %q", got)
+	}
+}
+
+func TestTimeIt(t *testing.T) {
+	d := timeIt(func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond {
+		t.Fatalf("timeIt = %v", d)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{ID: "T", Caption: "cap", Header: []string{"col", "x"}}
+	tb.AddRow("longer-cell", "1")
+	tb.AddRow("s", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + separator + 2 rows + caption line
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// All body lines must share the same width (alignment).
+	if len(lines[1]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned: %q", out)
+	}
+}
+
+func TestDeltaHeaders(t *testing.T) {
+	hs := deltaHeaders([]int{3, 7})
+	if len(hs) != 2 || hs[0] != "|dE|=3" || hs[1] != "|dE|=7" {
+		t.Fatalf("deltaHeaders = %v", hs)
+	}
+}

@@ -1,0 +1,144 @@
+// Package gen builds the synthetic workloads of the evaluation: random
+// (Erdős–Rényi) and preferential-attachment digraphs, timestamped evolving
+// snapshot streams standing in for the paper's DBLP/CITH/YOUTU dumps, and
+// insert/delete update streams in the style of GraphGen (Section VI-A).
+//
+// Every generator is deterministic given its seed, so experiments and
+// benchmarks are reproducible run to run.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ER returns an Erdős–Rényi style digraph with n nodes and exactly m
+// distinct edges (self-loops excluded), drawn uniformly.
+func ER(n, m int, seed int64) *graph.DiGraph {
+	if max := n * (n - 1); m > max {
+		m = max
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for g.M() < m {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// PrefAttach returns a citation-style digraph grown by preferential
+// attachment (the linkage generation model of the paper's reference [20]):
+// nodes arrive in order; node t issues up to outDeg citations to earlier
+// nodes, chosen proportionally to in-degree+1 — yielding the power-law
+// in-degree profile of real citation networks.
+func PrefAttach(n, outDeg int, seed int64) *graph.DiGraph {
+	g, _ := PrefAttachStream(n, outDeg, seed)
+	return g
+}
+
+// PrefAttachStream is PrefAttach but also returns the edge arrival order,
+// which snapshot streams slice into "years".
+func PrefAttachStream(n, outDeg int, seed int64) (*graph.DiGraph, []graph.Edge) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	var arrivals []graph.Edge
+	// urn holds each node once (base weight 1) plus once per in-edge, so a
+	// uniform draw from urn[:limit] is preferential sampling in O(1).
+	urn := make([]int, 0, n*(outDeg+1))
+	urn = append(urn, 0)
+	for t := 1; t < n; t++ {
+		cites := outDeg
+		if t < outDeg {
+			cites = t
+		}
+		limit := len(urn) // only nodes < t are in the urn so far
+		for c := 0; c < cites; c++ {
+			target := -1
+			for attempt := 0; attempt < 12; attempt++ {
+				cand := urn[rng.Intn(limit)]
+				if !g.HasEdge(t, cand) {
+					target = cand
+					break
+				}
+			}
+			if target < 0 {
+				// Fallback: first non-duplicate earlier node.
+				for v := 0; v < t; v++ {
+					if !g.HasEdge(t, v) {
+						target = v
+						break
+					}
+				}
+			}
+			if target < 0 {
+				break
+			}
+			g.AddEdge(t, target)
+			arrivals = append(arrivals, graph.Edge{From: t, To: target})
+			urn = append(urn, target)
+		}
+		urn = append(urn, t)
+	}
+	return g, arrivals
+}
+
+// InsertStream returns k edge insertions applicable in sequence to g
+// (g is not modified; the stream references a scratch clone).
+func InsertStream(g *graph.DiGraph, k int, seed int64) []graph.Update {
+	rng := rand.New(rand.NewSource(seed))
+	scratch := g.Clone()
+	n := scratch.N()
+	ups := make([]graph.Update, 0, k)
+	for len(ups) < k {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j || scratch.HasEdge(i, j) {
+			continue
+		}
+		scratch.AddEdge(i, j)
+		ups = append(ups, graph.Update{Edge: graph.Edge{From: i, To: j}, Insert: true})
+	}
+	return ups
+}
+
+// DeleteStream returns k edge deletions applicable in sequence to g.
+func DeleteStream(g *graph.DiGraph, k int, seed int64) []graph.Update {
+	rng := rand.New(rand.NewSource(seed))
+	scratch := g.Clone()
+	ups := make([]graph.Update, 0, k)
+	for len(ups) < k && scratch.M() > 0 {
+		es := scratch.Edges()
+		e := es[rng.Intn(len(es))]
+		scratch.RemoveEdge(e.From, e.To)
+		ups = append(ups, graph.Update{Edge: e, Insert: false})
+	}
+	return ups
+}
+
+// MixedStream returns k updates mixing insertions and deletions with the
+// given insert fraction.
+func MixedStream(g *graph.DiGraph, k int, insertFrac float64, seed int64) []graph.Update {
+	rng := rand.New(rand.NewSource(seed))
+	scratch := g.Clone()
+	n := scratch.N()
+	ups := make([]graph.Update, 0, k)
+	for len(ups) < k {
+		if rng.Float64() < insertFrac || scratch.M() == 0 {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j || scratch.HasEdge(i, j) {
+				continue
+			}
+			scratch.AddEdge(i, j)
+			ups = append(ups, graph.Update{Edge: graph.Edge{From: i, To: j}, Insert: true})
+		} else {
+			es := scratch.Edges()
+			e := es[rng.Intn(len(es))]
+			scratch.RemoveEdge(e.From, e.To)
+			ups = append(ups, graph.Update{Edge: e, Insert: false})
+		}
+	}
+	return ups
+}

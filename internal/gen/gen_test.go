@@ -1,0 +1,254 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestERSizeAndDeterminism(t *testing.T) {
+	g := ER(50, 200, 7)
+	if g.N() != 50 || g.M() != 200 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	g2 := ER(50, 200, 7)
+	if len(g.Edges()) != len(g2.Edges()) {
+		t.Fatal("same seed must give same graph")
+	}
+	for i, e := range g.Edges() {
+		if g2.Edges()[i] != e {
+			t.Fatal("same seed must give same edges")
+		}
+	}
+	g3 := ER(50, 200, 8)
+	same := true
+	e3 := g3.Edges()
+	for i, e := range g.Edges() {
+		if e3[i] != e {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestERNoSelfLoopsAndCap(t *testing.T) {
+	g := ER(5, 100, 1) // m capped at n(n-1) = 20
+	if g.M() != 20 {
+		t.Fatalf("M=%d, want 20", g.M())
+	}
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			t.Fatal("self loop generated")
+		}
+	}
+}
+
+func TestPrefAttachShape(t *testing.T) {
+	g := PrefAttach(300, 5, 42)
+	if g.N() != 300 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if g.M() < 5*250 {
+		t.Fatalf("M=%d too small", g.M())
+	}
+	// Citations go to earlier nodes only.
+	for _, e := range g.Edges() {
+		if e.To >= e.From {
+			t.Fatalf("edge %v cites a later node", e)
+		}
+	}
+	// Preferential attachment should produce a skewed in-degree profile:
+	// the max in-degree should exceed several times the average.
+	st := graph.Summarize(g)
+	if float64(st.MaxInDeg) < 3*st.AvgInDeg {
+		t.Fatalf("no skew: max=%d avg=%v", st.MaxInDeg, st.AvgInDeg)
+	}
+}
+
+func TestPrefAttachStreamArrivalsMatchGraph(t *testing.T) {
+	g, arr := PrefAttachStream(100, 4, 9)
+	if len(arr) != g.M() {
+		t.Fatalf("arrivals %d vs edges %d", len(arr), g.M())
+	}
+	rebuilt := graph.New(100)
+	for _, e := range arr {
+		if !rebuilt.AddEdge(e.From, e.To) {
+			t.Fatalf("duplicate arrival %v", e)
+		}
+	}
+	if rebuilt.M() != g.M() {
+		t.Fatal("rebuilt graph differs")
+	}
+}
+
+func TestInsertStreamApplies(t *testing.T) {
+	g := ER(30, 60, 3)
+	ups := InsertStream(g, 25, 4)
+	if len(ups) != 25 {
+		t.Fatalf("len=%d", len(ups))
+	}
+	scratch := g.Clone()
+	for _, u := range ups {
+		if !u.Insert {
+			t.Fatal("insert stream with deletion")
+		}
+		if !scratch.Apply(u) {
+			t.Fatalf("update %v not applicable", u)
+		}
+	}
+}
+
+func TestDeleteStreamApplies(t *testing.T) {
+	g := ER(30, 60, 3)
+	ups := DeleteStream(g, 20, 5)
+	if len(ups) != 20 {
+		t.Fatalf("len=%d", len(ups))
+	}
+	scratch := g.Clone()
+	for _, u := range ups {
+		if u.Insert {
+			t.Fatal("delete stream with insertion")
+		}
+		if !scratch.Apply(u) {
+			t.Fatalf("update %v not applicable", u)
+		}
+	}
+	if scratch.M() != 40 {
+		t.Fatalf("M=%d after deletions", scratch.M())
+	}
+}
+
+func TestDeleteStreamExhaustsGracefully(t *testing.T) {
+	g := ER(5, 4, 6)
+	ups := DeleteStream(g, 100, 7)
+	if len(ups) != 4 {
+		t.Fatalf("len=%d, want 4 (graph exhausted)", len(ups))
+	}
+}
+
+func TestMixedStreamApplies(t *testing.T) {
+	g := ER(30, 60, 8)
+	ups := MixedStream(g, 40, 0.5, 9)
+	scratch := g.Clone()
+	ins, del := 0, 0
+	for _, u := range ups {
+		if !scratch.Apply(u) {
+			t.Fatalf("update %v not applicable", u)
+		}
+		if u.Insert {
+			ins++
+		} else {
+			del++
+		}
+	}
+	if ins == 0 || del == 0 {
+		t.Fatalf("mix degenerate: ins=%d del=%d", ins, del)
+	}
+}
+
+func TestDatasetDeltaApplies(t *testing.T) {
+	for _, d := range SmallDatasets() {
+		ups := d.Delta(30)
+		if len(ups) != 30 {
+			t.Fatalf("%s: delta len %d", d.Name, len(ups))
+		}
+		scratch := d.Base.Clone()
+		for _, u := range ups {
+			if !scratch.Apply(u) {
+				t.Fatalf("%s: arrival %v not applicable", d.Name, u)
+			}
+		}
+	}
+}
+
+func TestDatasetDeltaClamped(t *testing.T) {
+	d := SmallDatasets()[0]
+	ups := d.Delta(1 << 30)
+	if len(ups) != len(d.Arrivals) {
+		t.Fatal("delta should clamp to available arrivals")
+	}
+}
+
+func TestDatasetsMetadata(t *testing.T) {
+	ds := SmallDatasets()
+	if len(ds) != 3 {
+		t.Fatalf("want 3 datasets, got %d", len(ds))
+	}
+	if ds[0].K != 10 || ds[2].K != 5 {
+		t.Fatalf("iteration counts wrong: %d %d", ds[0].K, ds[2].K)
+	}
+	if !ds[0].SVDFeasible || ds[2].SVDFeasible {
+		t.Fatal("SVD feasibility flags wrong")
+	}
+	// Largest dataset must actually be the largest.
+	if ds[2].Base.N() <= ds[0].Base.N() {
+		t.Fatal("YouTu-small should be the largest")
+	}
+}
+
+// Property: insert streams never propose existing edges; delete streams
+// never propose absent ones (relative to the evolving graph).
+func TestQuickStreamsWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		g := ER(20, 50, seed)
+		scratch := g.Clone()
+		for _, u := range MixedStream(g, 30, 0.6, seed+1) {
+			if u.Insert == scratch.HasEdge(u.Edge.From, u.Edge.To) {
+				return false // inserting an existing edge or deleting an absent one
+			}
+			scratch.Apply(u)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullDatasetsMetadata(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generators are slow")
+	}
+	ds := Datasets()
+	if len(ds) != 3 {
+		t.Fatalf("want 3 datasets, got %d", len(ds))
+	}
+	names := map[string]bool{}
+	var prevN int
+	for i, d := range ds {
+		names[d.Name] = true
+		if d.Base.N() == 0 || d.Base.M() == 0 {
+			t.Fatalf("%s: empty base", d.Name)
+		}
+		if len(d.Arrivals) < 200 {
+			t.Fatalf("%s: only %d arrivals", d.Name, len(d.Arrivals))
+		}
+		if d.Base.N() <= prevN {
+			t.Fatalf("datasets must grow in size: %s has n=%d after %d", d.Name, d.Base.N(), prevN)
+		}
+		prevN = d.Base.N()
+		// Every arrival applies cleanly in order.
+		scratch := d.Base.Clone()
+		for _, u := range d.Delta(50) {
+			if !scratch.Apply(u) {
+				t.Fatalf("%s: arrival %v not applicable", d.Name, u)
+			}
+		}
+		if i < 2 && !d.SVDFeasible {
+			t.Fatalf("%s should be SVD-feasible", d.Name)
+		}
+	}
+	if ds[2].SVDFeasible {
+		t.Fatal("largest dataset must mirror the paper's SVD memory crash")
+	}
+	if ds[0].K != 15 || ds[2].K != 5 {
+		t.Fatalf("paper iteration counts wrong: %d, %d", ds[0].K, ds[2].K)
+	}
+	if len(names) != 3 {
+		t.Fatal("dataset names must be distinct")
+	}
+}

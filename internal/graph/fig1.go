@@ -1,0 +1,74 @@
+package graph
+
+// Fig1 reconstructs the 15-node citation graph of the paper's Fig. 1
+// (nodes a..o mapped to 0..14) together with the dashed edge (i, j) that
+// Example 1 inserts.
+//
+// The paper's figure is not machine-readable, so the edge set below is a
+// reconstruction constrained by everything the text states:
+//   - n = 15, a fraction of DBLP, each edge a citation;
+//   - in the old G, I(j) = {h, k} (Example 4: [Q]_{j,·} has 1/2 at h and k);
+//   - inserting (i, j) changes the scores of pairs near the edge — here
+//     (a,b), (a,d), (a,i), (a,j), (b,j), (d,j), (h,j), (i,j), (j,k) —
+//     while leaving the far cluster untouched: s(i,f), s(k,g), s(k,h),
+//     s(m,l) are the reconstruction's "gray rows";
+//   - some affected pairs, here (a,i), (a,j), (h,j), (j,k), flip from
+//     exactly zero to non-zero, mirroring the paper's (a,d)/(j,b) rows.
+//
+// The *qualitative* Fig-1 behaviour (which pairs change, which are pruned,
+// Inc-SVD disagreeing with the true scores) is reproduced and asserted in
+// tests; absolute values differ from the paper because the exact figure
+// topology is unavailable.
+const (
+	FigA = iota
+	FigB
+	FigC
+	FigD
+	FigE
+	FigF
+	FigG
+	FigH
+	FigI
+	FigJ
+	FigK
+	FigL
+	FigM
+	FigN
+	FigO
+)
+
+// Fig1NodeName returns the letter label of a Fig. 1 node id.
+func Fig1NodeName(v int) string {
+	return string(rune('a' + v))
+}
+
+// Fig1Graph returns the reconstructed old graph G of Fig. 1 and the edge
+// (i, j) whose insertion Example 1 studies.
+func Fig1Graph() (g *DiGraph, inserted Edge) {
+	g = New(15)
+	edges := []Edge{
+		// Cluster around f, i, j: papers h and k cite both i's and j's
+		// area; I(j) = {h, k} as Example 4 requires.
+		{FigH, FigJ}, {FigK, FigJ},
+		{FigH, FigI}, {FigK, FigI},
+		{FigF, FigI}, {FigE, FigI},
+		{FigE, FigF}, {FigE, FigG},
+		{FigG, FigK}, {FigG, FigH},
+		// a, b are co-cited by c and d (s(a,b) > 0 in G).
+		{FigC, FigA}, {FigC, FigB},
+		{FigD, FigA}, {FigD, FigB},
+		{FigB, FigD},
+		// m, l co-cited by n, o — far from the inserted edge, so their
+		// similarity must stay put (gray row (m,l)).
+		{FigN, FigM}, {FigN, FigL},
+		{FigO, FigM}, {FigO, FigL},
+		{FigL, FigE},
+		// j cites a (so the (i,j) insertion can reach the a/b cluster
+		// and flip s(a,d), s(j,b) from 0 to non-zero).
+		{FigJ, FigA}, {FigI, FigB},
+	}
+	for _, e := range edges {
+		g.AddEdge(e.From, e.To)
+	}
+	return g, Edge{FigI, FigJ}
+}

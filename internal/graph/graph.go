@@ -1,0 +1,266 @@
+// Package graph implements the dynamic directed graph substrate: in/out
+// adjacency with O(1) amortized edge insertion and deletion, snapshots,
+// edge-list I/O, and the degree statistics that the paper's complexity
+// analysis (average in-degree d) is stated in terms of.
+//
+// Nodes are dense integers 0..n-1. An edge (i, j) is directed from i to j,
+// matching the paper: "each edge depicts a reference from one paper to
+// another", and the backward transition matrix Q has
+// [Q]_{j,i} = 1/|I(j)| iff (i, j) ∈ E.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Edge is a directed edge from From to To.
+type Edge struct {
+	From, To int
+}
+
+// DiGraph is a mutable directed graph over nodes 0..N-1. Both out- and
+// in-adjacency are maintained so O(a) and I(a) lookups are O(1).
+type DiGraph struct {
+	n   int
+	out []map[int]struct{}
+	in  []map[int]struct{}
+	m   int // number of edges
+}
+
+// New returns an empty directed graph with n nodes.
+func New(n int) *DiGraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	g := &DiGraph{
+		n:   n,
+		out: make([]map[int]struct{}, n),
+		in:  make([]map[int]struct{}, n),
+	}
+	for i := 0; i < n; i++ {
+		g.out[i] = make(map[int]struct{})
+		g.in[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// FromEdges builds a graph with n nodes and the given edges. Duplicate
+// edges are collapsed.
+func FromEdges(n int, edges []Edge) *DiGraph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e.From, e.To)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *DiGraph) N() int { return g.n }
+
+// AddNodes appends k isolated nodes, returning the id of the first new
+// node. Existing ids are unchanged.
+func (g *DiGraph) AddNodes(k int) int {
+	if k < 0 {
+		panic(fmt.Sprintf("graph: negative node increment %d", k))
+	}
+	first := g.n
+	for i := 0; i < k; i++ {
+		g.out = append(g.out, make(map[int]struct{}))
+		g.in = append(g.in, make(map[int]struct{}))
+	}
+	g.n += k
+	return first
+}
+
+// M returns the number of edges.
+func (g *DiGraph) M() int { return g.m }
+
+func (g *DiGraph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// HasEdge reports whether edge (i, j) exists.
+func (g *DiGraph) HasEdge(i, j int) bool {
+	g.check(i)
+	g.check(j)
+	_, ok := g.out[i][j]
+	return ok
+}
+
+// AddEdge inserts edge (i, j). It reports whether the edge was newly added
+// (false if it already existed). Self-loops are allowed, matching the
+// generality of the transition-matrix formulation.
+func (g *DiGraph) AddEdge(i, j int) bool {
+	g.check(i)
+	g.check(j)
+	if _, ok := g.out[i][j]; ok {
+		return false
+	}
+	g.out[i][j] = struct{}{}
+	g.in[j][i] = struct{}{}
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes edge (i, j). It reports whether the edge existed.
+func (g *DiGraph) RemoveEdge(i, j int) bool {
+	g.check(i)
+	g.check(j)
+	if _, ok := g.out[i][j]; !ok {
+		return false
+	}
+	delete(g.out[i], j)
+	delete(g.in[j], i)
+	g.m--
+	return true
+}
+
+// InDegree returns |I(v)|, the number of in-neighbors of v.
+func (g *DiGraph) InDegree(v int) int {
+	g.check(v)
+	return len(g.in[v])
+}
+
+// OutDegree returns |O(v)|.
+func (g *DiGraph) OutDegree(v int) int {
+	g.check(v)
+	return len(g.out[v])
+}
+
+// InNeighbors returns I(v) in ascending order.
+func (g *DiGraph) InNeighbors(v int) []int {
+	g.check(v)
+	return sortedKeys(g.in[v])
+}
+
+// OutNeighbors returns O(v) in ascending order.
+func (g *DiGraph) OutNeighbors(v int) []int {
+	g.check(v)
+	return sortedKeys(g.out[v])
+}
+
+// EachInNeighbor calls fn for every in-neighbor of v (unordered).
+func (g *DiGraph) EachInNeighbor(v int, fn func(u int)) {
+	g.check(v)
+	for u := range g.in[v] {
+		fn(u)
+	}
+}
+
+// EachOutNeighbor calls fn for every out-neighbor of v (unordered).
+func (g *DiGraph) EachOutNeighbor(v int, fn func(u int)) {
+	g.check(v)
+	for u := range g.out[v] {
+		fn(u)
+	}
+}
+
+func sortedKeys(s map[int]struct{}) []int {
+	out := make([]int, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges sorted by (From, To).
+func (g *DiGraph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for i := 0; i < g.n; i++ {
+		for j := range g.out[i] {
+			es = append(es, Edge{i, j})
+		}
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].From != es[b].From {
+			return es[a].From < es[b].From
+		}
+		return es[a].To < es[b].To
+	})
+	return es
+}
+
+// Clone returns an independent deep copy of g.
+func (g *DiGraph) Clone() *DiGraph {
+	c := New(g.n)
+	for i := 0; i < g.n; i++ {
+		for j := range g.out[i] {
+			c.AddEdge(i, j)
+		}
+	}
+	return c
+}
+
+// AvgInDegree returns d, the average in-degree m/n (0 for the empty graph).
+func (g *DiGraph) AvgInDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(g.n)
+}
+
+// BackwardTransition builds the backward transition matrix Q in CSR form:
+// [Q]_{j,i} = 1/|I(j)| if (i, j) ∈ E, 0 otherwise — the row-normalized
+// transpose of the adjacency matrix (footnote 2 of the paper).
+func (g *DiGraph) BackwardTransition() *matrix.CSR {
+	var is, js []int
+	var vs []float64
+	for j := 0; j < g.n; j++ {
+		d := len(g.in[j])
+		if d == 0 {
+			continue
+		}
+		w := 1 / float64(d)
+		for i := range g.in[j] {
+			is = append(is, j)
+			js = append(js, i)
+			vs = append(vs, w)
+		}
+	}
+	return matrix.NewCSR(g.n, g.n, is, js, vs)
+}
+
+// Adjacency builds the (unnormalized) adjacency matrix A with
+// [A]_{i,j} = 1 iff (i, j) ∈ E.
+func (g *DiGraph) Adjacency() *matrix.CSR {
+	var is, js []int
+	var vs []float64
+	for i := 0; i < g.n; i++ {
+		for j := range g.out[i] {
+			is = append(is, i)
+			js = append(js, j)
+			vs = append(vs, 1)
+		}
+	}
+	return matrix.NewCSR(g.n, g.n, is, js, vs)
+}
+
+// Apply performs one unit update and reports whether the graph changed.
+func (g *DiGraph) Apply(u Update) bool {
+	if u.Insert {
+		return g.AddEdge(u.Edge.From, u.Edge.To)
+	}
+	return g.RemoveEdge(u.Edge.From, u.Edge.To)
+}
+
+// Update is a unit link update: a single edge insertion or deletion
+// (Section V: "batch update ... can be decomposed into a sequence of unit
+// updates").
+type Update struct {
+	Edge   Edge
+	Insert bool // true = insertion, false = deletion
+}
+
+func (u Update) String() string {
+	op := "-"
+	if u.Insert {
+		op = "+"
+	}
+	return fmt.Sprintf("%s(%d,%d)", op, u.Edge.From, u.Edge.To)
+}

@@ -1,0 +1,228 @@
+// Package lin provides the dense linear-algebra routines required by the
+// Inc-SVD baseline of Li et al. [1]: a one-sided Jacobi singular value
+// decomposition, a Gaussian-elimination linear solver (for the small
+// Kronecker system in the SimRank reconstruction), and numeric rank
+// estimation (Fig. 2b reports the lossless SVD rank of the auxiliary
+// matrix C_aux).
+package lin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// SVD holds a (possibly truncated) singular value decomposition
+// X ≈ U·diag(S)·Vᵀ with column-orthonormal U (n×r) and V (m×r) and
+// non-negative singular values S sorted in descending order.
+type SVD struct {
+	U *matrix.Dense // n×r
+	S []float64     // r singular values, descending
+	V *matrix.Dense // m×r
+}
+
+// Rank returns the number of retained singular values.
+func (d *SVD) Rank() int { return len(d.S) }
+
+// Reconstruct returns U·diag(S)·Vᵀ.
+func (d *SVD) Reconstruct() *matrix.Dense {
+	n, m, r := d.U.Rows, d.V.Rows, len(d.S)
+	out := matrix.NewDense(n, m)
+	for k := 0; k < r; k++ {
+		uk := d.U.Col(k)
+		vk := d.V.Col(k)
+		matrix.AddOuter(out, d.S[k], uk, vk)
+	}
+	return out
+}
+
+// Truncate returns a copy of d keeping only the top r singular triplets
+// (the low-rank SVD of footnote 6). r larger than Rank() is clamped.
+func (d *SVD) Truncate(r int) *SVD {
+	if r >= d.Rank() {
+		r = d.Rank()
+	}
+	if r < 0 {
+		r = 0
+	}
+	u := matrix.NewDense(d.U.Rows, r)
+	v := matrix.NewDense(d.V.Rows, r)
+	for i := 0; i < d.U.Rows; i++ {
+		copy(u.Row(i), d.U.Row(i)[:r])
+	}
+	for i := 0; i < d.V.Rows; i++ {
+		copy(v.Row(i), d.V.Row(i)[:r])
+	}
+	s := make([]float64, r)
+	copy(s, d.S[:r])
+	return &SVD{U: u, S: s, V: v}
+}
+
+// jacobiSweeps bounds the number of one-sided Jacobi sweeps; convergence is
+// typically reached in far fewer for the modest sizes used here.
+const jacobiSweeps = 60
+
+// ComputeSVD computes the SVD of a (square or rectangular, n ≥ 1) dense
+// matrix via the one-sided Jacobi method: it orthogonalizes the columns of
+// a working copy A by Givens rotations accumulated into V, after which the
+// column norms are the singular values and the normalized columns form U.
+// Columns with norm below dropTol are dropped (rank truncation), so the
+// result is the "lossless" SVD in the paper's sense when dropTol is the
+// numeric-rank tolerance.
+func ComputeSVD(x *matrix.Dense, dropTol float64) *SVD {
+	n, m := x.Rows, x.Cols
+	if n == 0 || m == 0 {
+		return &SVD{U: matrix.NewDense(n, 0), V: matrix.NewDense(m, 0)}
+	}
+	// Work on Aᵀ-free column-major copies for cache-friendly column ops.
+	cols := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		cols[j] = x.Col(j)
+	}
+	v := make([][]float64, m) // V accumulated as columns
+	for j := 0; j < m; j++ {
+		v[j] = make([]float64, m)
+		v[j][j] = 1
+	}
+	eps := 1e-14
+	for sweep := 0; sweep < jacobiSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < m-1; p++ {
+			for q := p + 1; q < m; q++ {
+				alpha := matrix.Dot(cols[p], cols[p])
+				beta := matrix.Dot(cols[q], cols[q])
+				gamma := matrix.Dot(cols[p], cols[q])
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta)+1e-300 {
+					continue
+				}
+				off += math.Abs(gamma)
+				// Compute the rotation annihilating the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotate(cols[p], cols[q], c, s)
+				rotate(v[p], v[q], c, s)
+			}
+		}
+		if off < 1e-15 {
+			break
+		}
+	}
+	// Extract singular values and left vectors.
+	type trip struct {
+		sv  float64
+		idx int
+	}
+	trips := make([]trip, m)
+	for j := 0; j < m; j++ {
+		trips[j] = trip{matrix.Norm2(cols[j]), j}
+	}
+	sort.Slice(trips, func(a, b int) bool { return trips[a].sv > trips[b].sv })
+	var kept []trip
+	for _, tr := range trips {
+		if tr.sv > dropTol {
+			kept = append(kept, tr)
+		}
+	}
+	r := len(kept)
+	u := matrix.NewDense(n, r)
+	vv := matrix.NewDense(m, r)
+	s := make([]float64, r)
+	for k, tr := range kept {
+		s[k] = tr.sv
+		cj := cols[tr.idx]
+		inv := 1 / tr.sv
+		for i := 0; i < n; i++ {
+			u.Set(i, k, cj[i]*inv)
+		}
+		vj := v[tr.idx]
+		for i := 0; i < m; i++ {
+			vv.Set(i, k, vj[i])
+		}
+	}
+	return &SVD{U: u, S: s, V: vv}
+}
+
+// rotate applies the Givens rotation [c s; -s c] to the column pair (a, b)
+// in place: a' = c·a − s·b, b' = s·a + c·b.
+func rotate(a, b []float64, c, s float64) {
+	for i := range a {
+		ai, bi := a[i], b[i]
+		a[i] = c*ai - s*bi
+		b[i] = s*ai + c*bi
+	}
+}
+
+// NumericRank returns the number of singular values of x above tol·σ_max
+// (with an absolute floor of tol for the all-tiny case). This is the
+// "lossless SVD rank" reported on the y-axis of Fig. 2b.
+func NumericRank(x *matrix.Dense, tol float64) int {
+	d := ComputeSVD(x, 0)
+	if len(d.S) == 0 {
+		return 0
+	}
+	thresh := tol * d.S[0]
+	if thresh < tol {
+		thresh = tol
+	}
+	r := 0
+	for _, s := range d.S {
+		if s > thresh {
+			r++
+		}
+	}
+	return r
+}
+
+// Solve solves the linear system A·x = b by Gaussian elimination with
+// partial pivoting. A is destroyed. Returns an error on (near-)singular A.
+func Solve(a *matrix.Dense, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("lin: Solve wants square system, got %d×%d with b of %d", a.Rows, a.Cols, len(b))
+	}
+	x := matrix.CloneVec(b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, best := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < 1e-13 {
+			return nil, fmt.Errorf("lin: singular system at column %d (pivot %g)", col, best)
+		}
+		if piv != col {
+			pr, cr := a.Row(piv), a.Row(col)
+			for k := col; k < n; k++ {
+				pr[k], cr[k] = cr[k], pr[k]
+			}
+			x[piv], x[col] = x[col], x[piv]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rr, cr := a.Row(r), a.Row(col)
+			for k := col; k < n; k++ {
+				rr[k] -= f * cr[k]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		row := a.Row(col)
+		for k := col + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[col] = s / row[col]
+	}
+	return x, nil
+}

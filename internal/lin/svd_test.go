@@ -1,0 +1,211 @@
+package lin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func randDense(rng *rand.Rand, r, c int) *matrix.Dense {
+	m := matrix.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// orthonormalCols reports whether MᵀM ≈ I within tol.
+func orthonormalCols(m *matrix.Dense, tol float64) bool {
+	g := matrix.Mul(m.T(), m)
+	return matrix.MaxAbsDiff(g, matrix.Identity(m.Cols)) <= tol
+}
+
+func TestSVDExample2(t *testing.T) {
+	// The paper's Example 2: Q = [0 1; 0 0] has lossless SVD with
+	// U = [1;0], Σ = [1], V = [0;1], and U·Uᵀ ≠ I₂ while Uᵀ·U = I₁.
+	q := matrix.NewDenseFrom([][]float64{{0, 1}, {0, 0}})
+	d := ComputeSVD(q, 1e-12)
+	if d.Rank() != 1 {
+		t.Fatalf("rank = %d, want 1", d.Rank())
+	}
+	if math.Abs(d.S[0]-1) > 1e-12 {
+		t.Fatalf("σ = %v, want 1", d.S[0])
+	}
+	if matrix.MaxAbsDiff(d.Reconstruct(), q) > 1e-12 {
+		t.Fatal("reconstruction mismatch")
+	}
+	// UᵀU = I_ρ must hold; U·Uᵀ must NOT be I_n (the crux of Section IV).
+	if !orthonormalCols(d.U, 1e-12) || !orthonormalCols(d.V, 1e-12) {
+		t.Fatal("columns not orthonormal")
+	}
+	uut := matrix.Mul(d.U, d.U.T())
+	if matrix.MaxAbsDiff(uut, matrix.Identity(2)) < 0.5 {
+		t.Fatal("U·Uᵀ should differ from I when rank < n")
+	}
+}
+
+func TestSVDReconstructRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(12)
+		m := 2 + rng.Intn(12)
+		x := randDense(rng, n, m)
+		d := ComputeSVD(x, 1e-12)
+		if matrix.MaxAbsDiff(d.Reconstruct(), x) > 1e-9 {
+			t.Fatalf("trial %d: reconstruction error %g", trial, matrix.MaxAbsDiff(d.Reconstruct(), x))
+		}
+		if !orthonormalCols(d.U, 1e-9) || !orthonormalCols(d.V, 1e-9) {
+			t.Fatalf("trial %d: not orthonormal", trial)
+		}
+		for k := 1; k < len(d.S); k++ {
+			if d.S[k] > d.S[k-1]+1e-12 {
+				t.Fatalf("singular values not descending: %v", d.S)
+			}
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-2 4×4 matrix built from two outer products.
+	x := matrix.Outer([]float64{1, 2, 3, 4}, []float64{1, 0, 1, 0})
+	x.AddMat(1, matrix.Outer([]float64{0, 1, 0, 1}, []float64{2, 1, 0, 0}))
+	d := ComputeSVD(x, 1e-9)
+	if d.Rank() != 2 {
+		t.Fatalf("rank = %d, want 2", d.Rank())
+	}
+	if matrix.MaxAbsDiff(d.Reconstruct(), x) > 1e-9 {
+		t.Fatal("rank-deficient reconstruction mismatch")
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	d := ComputeSVD(matrix.NewDense(3, 3), 1e-12)
+	if d.Rank() != 0 {
+		t.Fatalf("zero matrix rank = %d", d.Rank())
+	}
+}
+
+func TestSVDTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := randDense(rng, 6, 6)
+	d := ComputeSVD(x, 1e-12)
+	tr := d.Truncate(2)
+	if tr.Rank() != 2 {
+		t.Fatalf("truncated rank = %d", tr.Rank())
+	}
+	// Truncation keeps the largest singular values.
+	if tr.S[0] != d.S[0] || tr.S[1] != d.S[1] {
+		t.Fatal("truncate kept wrong values")
+	}
+	// Eckart–Young sanity: error norm equals next singular value (spectral),
+	// so Frobenius error must be at least σ₃ and reconstruction differs.
+	err := matrix.MaxAbsDiff(tr.Reconstruct(), x)
+	if err == 0 && d.Rank() > 2 {
+		t.Fatal("truncation should lose information")
+	}
+	if got := d.Truncate(99).Rank(); got != d.Rank() {
+		t.Fatalf("over-truncate rank = %d", got)
+	}
+}
+
+func TestNumericRank(t *testing.T) {
+	id := matrix.Identity(5)
+	if r := NumericRank(id, 1e-10); r != 5 {
+		t.Fatalf("rank(I₅) = %d", r)
+	}
+	r2 := matrix.Outer([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if r := NumericRank(r2, 1e-10); r != 1 {
+		t.Fatalf("rank(outer) = %d", r)
+	}
+	if r := NumericRank(matrix.NewDense(4, 4), 1e-10); r != 0 {
+		t.Fatalf("rank(0) = %d", r)
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	a := matrix.NewDenseFrom([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a.Clone(), []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := matrix.NewDenseFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("want singular error")
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	if _, err := Solve(matrix.NewDense(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero leading pivot forces a row swap.
+	a := matrix.NewDenseFrom([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+// Property: Solve then multiply back recovers b.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randDense(rng, n, n)
+		// Diagonal boost keeps the system well-conditioned.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a.Clone(), b)
+		if err != nil {
+			return false
+		}
+		back := a.MulVec(x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SVD of random matrices reconstructs within tolerance and U, V
+// have orthonormal columns.
+func TestQuickSVDProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(9), 1+rng.Intn(9)
+		x := randDense(rng, n, m)
+		d := ComputeSVD(x, 1e-12)
+		if matrix.MaxAbsDiff(d.Reconstruct(), x) > 1e-8 {
+			return false
+		}
+		return orthonormalCols(d.U, 1e-8) && orthonormalCols(d.V, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

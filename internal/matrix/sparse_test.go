@@ -1,0 +1,172 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSparse(rng *rand.Rand, r, c int, density float64) *CSR {
+	var is, js []int
+	var vs []float64
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				is = append(is, i)
+				js = append(js, j)
+				vs = append(vs, rng.NormFloat64())
+			}
+		}
+	}
+	return NewCSR(r, c, is, js, vs)
+}
+
+func TestCSRBasic(t *testing.T) {
+	m := NewCSR(3, 3, []int{0, 1, 2, 0}, []int{1, 2, 0, 2}, []float64{1, 2, 3, 4})
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	if m.At(0, 1) != 1 || m.At(1, 2) != 2 || m.At(2, 0) != 3 || m.At(0, 2) != 4 {
+		t.Fatal("At mismatch")
+	}
+	if m.At(2, 2) != 0 {
+		t.Fatal("missing entry should be 0")
+	}
+}
+
+func TestCSRDuplicatesSummed(t *testing.T) {
+	m := NewCSR(2, 2, []int{0, 0}, []int{1, 1}, []float64{1.5, 2.5})
+	if m.NNZ() != 1 || m.At(0, 1) != 4 {
+		t.Fatalf("duplicates not summed: nnz=%d v=%v", m.NNZ(), m.At(0, 1))
+	}
+}
+
+func TestCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewCSR(2, 2, []int{5}, []int{0}, []float64{1})
+}
+
+func TestCSREmptyRows(t *testing.T) {
+	m := NewCSR(4, 4, []int{2}, []int{3}, []float64{7})
+	cols, _ := m.Row(0)
+	if len(cols) != 0 {
+		t.Fatal("row 0 should be empty")
+	}
+	cols, vals := m.Row(2)
+	if len(cols) != 1 || cols[0] != 3 || vals[0] != 7 {
+		t.Fatal("row 2 mismatch")
+	}
+	// Rows after the last populated row must also be valid.
+	cols, _ = m.Row(3)
+	if len(cols) != 0 {
+		t.Fatal("row 3 should be empty")
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		s := randSparse(rng, r, c, 0.3)
+		d := s.Dense()
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, want := s.MulVec(x), d.MulVec(x)
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-12) {
+				t.Fatalf("trial %d: MulVec[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCSRMulVecTMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		s := randSparse(rng, r, c, 0.3)
+		d := s.Dense()
+		x := make([]float64, r)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, want := s.MulVecT(x), d.MulVecT(x)
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-12) {
+				t.Fatalf("trial %d: MulVecT[%d] mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestCSRRowDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := randSparse(rng, 8, 8, 0.4)
+	d := s.Dense()
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := 0; i < 8; i++ {
+		if !almostEq(s.RowDot(i, x), Dot(d.Row(i), x), 1e-12) {
+			t.Fatalf("RowDot(%d) mismatch", i)
+		}
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := randSparse(rng, 6, 9, 0.3)
+	if MaxAbsDiff(s.T().Dense(), s.Dense().T()) != 0 {
+		t.Fatal("CSR transpose mismatch")
+	}
+}
+
+func TestDenseToCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := randDense(rng, 7, 5)
+	s := DenseToCSR(d, 0)
+	if MaxAbsDiff(s.Dense(), d) != 0 {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDenseToCSRTolerance(t *testing.T) {
+	d := NewDenseFrom([][]float64{{1e-15, 1}, {0, -1e-15}})
+	s := DenseToCSR(d, 1e-12)
+	if s.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", s.NNZ())
+	}
+}
+
+// Property: (CSRᵀ)ᵀ round-trips, and sparse mat-vec agrees with dense.
+func TestQuickCSRAgreesWithDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(12), 1+rng.Intn(12)
+		s := randSparse(rng, r, c, 0.25)
+		if MaxAbsDiff(s.T().T().Dense(), s.Dense()) != 0 {
+			return false
+		}
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, want := s.MulVec(x), s.Dense().MulVec(x)
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package metrics
+
+// pairHeap is a min-heap of Pairs ordered by (Score, then reverse (A,B)),
+// so the root is the weakest pair currently retained and ties evict the
+// lexicographically larger pair — matching TopKPairs' deterministic order.
+type pairHeap []Pair
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(x, y int) bool {
+	if h[x].Score != h[y].Score {
+		return h[x].Score < h[y].Score
+	}
+	if h[x].A != h[y].A {
+		return h[x].A > h[y].A
+	}
+	return h[x].B > h[y].B
+}
+func (h pairHeap) Swap(x, y int)       { h[x], h[y] = h[y], h[x] }
+func (h *pairHeap) Push(v interface{}) { *h = append(*h, v.(Pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// better reports whether p should replace the heap root r.
+func better(p, r Pair) bool {
+	if p.Score != r.Score {
+		return p.Score > r.Score
+	}
+	if p.A != r.A {
+		return p.A < r.A
+	}
+	return p.B < r.B
+}

@@ -1,0 +1,180 @@
+// Package montecarlo implements the probabilistic SimRank estimators of
+// the paper's related work (Section II-B): Fogaras and Rácz's P-SimRank
+// [5,11] interprets s(a,b) as E[C^τ] where τ is the first meeting time of
+// two coalescing reverse random walks; Li et al. [10] use the same walks
+// for fast single-pair queries; Lee et al. [12] for approximate top-k.
+//
+// These estimators target the *iterative form* of SimRank (s(a,a) = 1).
+// They trade exactness for locality: a single pair costs O(W·T) walk
+// steps, independent of n², which is why the paper contrasts them with
+// the deterministic algorithms it builds on.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Estimator draws coalescing reverse random walks over a fixed graph to
+// estimate SimRank scores.
+type Estimator struct {
+	g   *graph.DiGraph
+	c   float64
+	rng *rand.Rand
+	// walkLen caps the walk length (the contribution of a meeting at
+	// step t is C^t, so truncation error ≤ C^{walkLen+1}).
+	walkLen int
+	// ins[v] is the in-neighbor list of v, pre-extracted for O(1)
+	// uniform sampling.
+	ins [][]int
+}
+
+// New builds an estimator. walkLen ≤ 0 selects a default that bounds the
+// truncation error below 10⁻³ for the given C.
+func New(g *graph.DiGraph, c float64, walkLen int, seed int64) (*Estimator, error) {
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("montecarlo: damping factor %v outside (0,1)", c)
+	}
+	if walkLen <= 0 {
+		walkLen = int(math.Ceil(math.Log(1e-3)/math.Log(c))) + 1
+	}
+	ins := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		ins[v] = g.InNeighbors(v)
+	}
+	return &Estimator{
+		g: g, c: c, rng: rand.New(rand.NewSource(seed)),
+		walkLen: walkLen, ins: ins,
+	}, nil
+}
+
+// WalkLen returns the effective walk-length cap.
+func (e *Estimator) WalkLen() int { return e.walkLen }
+
+// meet simulates one pair of coalescing reverse walks from (a, b) and
+// returns the first meeting step, or -1 if the walks never meet within
+// the cap (including dying at a node with no in-neighbors).
+func (e *Estimator) meet(a, b int) int {
+	if a == b {
+		return 0
+	}
+	x, y := a, b
+	for t := 1; t <= e.walkLen; t++ {
+		ix, iy := e.ins[x], e.ins[y]
+		if len(ix) == 0 || len(iy) == 0 {
+			return -1
+		}
+		x = ix[e.rng.Intn(len(ix))]
+		y = iy[e.rng.Intn(len(iy))]
+		if x == y {
+			return t
+		}
+	}
+	return -1
+}
+
+// Pair estimates s(a, b) from walks independent walk-pairs:
+// ŝ = (1/W)·Σ C^{τ_w}, the P-SimRank estimator.
+func (e *Estimator) Pair(a, b int, walks int) float64 {
+	if a == b {
+		return 1
+	}
+	if walks <= 0 {
+		panic("montecarlo: non-positive walk count")
+	}
+	var sum float64
+	for w := 0; w < walks; w++ {
+		if t := e.meet(a, b); t >= 0 {
+			sum += math.Pow(e.c, float64(t))
+		}
+	}
+	return sum / float64(walks)
+}
+
+// PairStderr estimates s(a, b) together with the standard error of the
+// estimate, for confidence-interval reporting.
+func (e *Estimator) PairStderr(a, b int, walks int) (est, stderr float64) {
+	if a == b {
+		return 1, 0
+	}
+	var sum, sumSq float64
+	for w := 0; w < walks; w++ {
+		var v float64
+		if t := e.meet(a, b); t >= 0 {
+			v = math.Pow(e.c, float64(t))
+		}
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(walks)
+	mean := sum / n
+	varr := (sumSq - n*mean*mean) / math.Max(1, n-1)
+	if varr < 0 {
+		varr = 0
+	}
+	return mean, math.Sqrt(varr / n)
+}
+
+// SingleSource estimates s(a, v) for every v with the given walk budget
+// per pair (the single-source query of [10]).
+func (e *Estimator) SingleSource(a int, walks int) []float64 {
+	out := make([]float64, e.g.N())
+	for v := 0; v < e.g.N(); v++ {
+		out[v] = e.Pair(a, v, walks)
+	}
+	return out
+}
+
+// Scored is a node with its estimated similarity to a query node.
+type Scored struct {
+	Node  int
+	Score float64
+}
+
+// TopK estimates the k nodes most similar to a (excluding a itself),
+// in the style of [12]: a cheap first pass over all candidates followed
+// by a refinement pass with refineFactor× more walks on the provisional
+// top 2k.
+func (e *Estimator) TopK(a, k, walks, refineFactor int) []Scored {
+	if refineFactor < 1 {
+		refineFactor = 1
+	}
+	n := e.g.N()
+	cands := make([]Scored, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v == a {
+			continue
+		}
+		if s := e.Pair(a, v, walks); s > 0 {
+			cands = append(cands, Scored{Node: v, Score: s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Node < cands[j].Node
+	})
+	short := 2 * k
+	if short > len(cands) {
+		short = len(cands)
+	}
+	refined := cands[:short]
+	for i := range refined {
+		refined[i].Score = e.Pair(a, refined[i].Node, walks*refineFactor)
+	}
+	sort.Slice(refined, func(i, j int) bool {
+		if refined[i].Score != refined[j].Score {
+			return refined[i].Score > refined[j].Score
+		}
+		return refined[i].Node < refined[j].Node
+	})
+	if k > len(refined) {
+		k = len(refined)
+	}
+	return refined[:k]
+}

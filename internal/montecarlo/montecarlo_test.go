@@ -1,0 +1,160 @@
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := graph.New(3)
+	if _, err := New(g, 0, 0, 1); err == nil {
+		t.Fatal("want error for C=0")
+	}
+	if _, err := New(g, 1, 0, 1); err == nil {
+		t.Fatal("want error for C=1")
+	}
+	e, err := New(g, 0.6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.WalkLen() <= 0 {
+		t.Fatal("default walk length must be positive")
+	}
+}
+
+func TestPairIdentity(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}})
+	e, _ := New(g, 0.6, 0, 1)
+	if e.Pair(1, 1, 10) != 1 {
+		t.Fatal("s(a,a) must be 1")
+	}
+}
+
+func TestPairZeroWhenNoInLinks(t *testing.T) {
+	// Node 0 has no in-neighbors → s(0, x) = 0 for x ≠ 0.
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}})
+	e, _ := New(g, 0.8, 0, 1)
+	if got := e.Pair(0, 1, 200); got != 0 {
+		t.Fatalf("s(0,1) = %v, want 0", got)
+	}
+}
+
+func TestPairSingleCommonParent(t *testing.T) {
+	// 0→1, 0→2: walks from 1 and 2 both step to 0 and meet at t=1
+	// with probability 1, so ŝ(1,2) = C exactly.
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}})
+	e, _ := New(g, 0.8, 0, 7)
+	if got := e.Pair(1, 2, 100); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("s(1,2) = %v, want 0.8", got)
+	}
+}
+
+func TestPairMatchesDeterministicWithinCI(t *testing.T) {
+	// On random graphs the MC estimate must agree with the Jeh–Widom
+	// fixed point within a 5-sigma confidence interval.
+	rng := rand.New(rand.NewSource(61))
+	g := graph.New(12)
+	for g.M() < 30 {
+		g.AddEdge(rng.Intn(12), rng.Intn(12))
+	}
+	c := 0.6
+	exact := batch.JehWidom(g, c, 40)
+	e, _ := New(g, c, 40, 99)
+	const walks = 4000
+	checked := 0
+	for a := 0; a < 12 && checked < 8; a++ {
+		for b := a + 1; b < 12 && checked < 8; b++ {
+			if exact.At(a, b) < 0.02 {
+				continue
+			}
+			est, stderr := e.PairStderr(a, b, walks)
+			slack := 5*stderr + 0.01 // CI plus truncation slack
+			if math.Abs(est-exact.At(a, b)) > slack {
+				t.Fatalf("pair (%d,%d): MC %v vs exact %v (slack %v)", a, b, est, exact.At(a, b), slack)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no sufficiently similar pairs in this random graph")
+	}
+}
+
+func TestPairStderrShrinksWithWalks(t *testing.T) {
+	g := gen.PrefAttach(60, 4, 5)
+	e, _ := New(g, 0.6, 0, 11)
+	_, se1 := e.PairStderr(10, 11, 200)
+	_, se2 := e.PairStderr(10, 11, 5000)
+	if se2 > se1 && se1 > 0 {
+		t.Fatalf("stderr should shrink with walks: %v → %v", se1, se2)
+	}
+}
+
+func TestSingleSource(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}})
+	e, _ := New(g, 0.8, 0, 3)
+	scores := e.SingleSource(1, 200)
+	if len(scores) != 4 {
+		t.Fatalf("len = %d", len(scores))
+	}
+	if scores[1] != 1 {
+		t.Fatal("self-similarity must be 1")
+	}
+	if scores[2] <= 0 {
+		t.Fatal("s(1,2) should be positive (co-cited by 0)")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	// 0→{1,2,3}: nodes 1, 2, 3 are mutually similar with the same score;
+	// TopK(1) must rank them above unrelated node 4.
+	g := graph.FromEdges(5, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}, {From: 4, To: 0},
+	})
+	e, _ := New(g, 0.8, 0, 9)
+	top := e.TopK(1, 2, 200, 4)
+	if len(top) != 2 {
+		t.Fatalf("TopK len = %d", len(top))
+	}
+	for _, s := range top {
+		if s.Node != 2 && s.Node != 3 {
+			t.Fatalf("unexpected top node %d", s.Node)
+		}
+		if math.Abs(s.Score-0.8) > 1e-12 {
+			t.Fatalf("score %v, want 0.8", s.Score)
+		}
+	}
+}
+
+func TestTopKSmallGraph(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	e, _ := New(g, 0.6, 0, 2)
+	if top := e.TopK(0, 5, 50, 1); len(top) > 1 {
+		t.Fatalf("TopK on 2-node graph returned %d results", len(top))
+	}
+}
+
+func TestPairPanicsOnBadWalks(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	e, _ := New(g, 0.6, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	e.Pair(0, 1, 0)
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := gen.PrefAttach(40, 3, 8)
+	e1, _ := New(g, 0.6, 0, 42)
+	e2, _ := New(g, 0.6, 0, 42)
+	if e1.Pair(5, 7, 500) != e2.Pair(5, 7, 500) {
+		t.Fatal("same seed must reproduce the estimate")
+	}
+}

@@ -1,0 +1,153 @@
+package simrank
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// Snapshot format: a small length-prefixed binary layout with a CRC32
+// trailer, so a long-lived engine (hours of folded updates) can be
+// persisted and restored without recomputing the O(Kd'n²) batch step.
+//
+//	magic "SIMR" | version u32 | C f64 | K u32 | flags u32 |
+//	n u32 | m u32 | m × (from u32, to u32) |
+//	n² × f64 (row-major S) | crc32(IEEE) of everything above
+const (
+	snapshotMagic   = "SIMR"
+	snapshotVersion = 1
+	flagNoPruning   = 1 << 0
+)
+
+// WriteSnapshot serializes the engine's graph, options and similarity
+// matrix to w.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("simrank: snapshot write: %w", err)
+	}
+	var flags uint32
+	if e.opts.DisablePruning {
+		flags |= flagNoPruning
+	}
+	n, m := e.g.N(), e.g.M()
+	hdr := []any{
+		uint32(snapshotVersion),
+		math.Float64bits(e.opts.C),
+		uint32(e.opts.K),
+		flags,
+		uint32(n),
+		uint32(m),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("simrank: snapshot header: %w", err)
+		}
+	}
+	for _, edge := range e.g.Edges() {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(edge.From)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(edge.To)); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for _, v := range e.s.Data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	// Flush the payload so the CRC covers exactly the payload bytes, then
+	// append the (unhashed) trailer.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// ReadSnapshot restores an engine previously written by WriteSnapshot.
+// The similarity matrix is trusted as-is after the CRC check, not
+// recomputed; use Recompute to rebuild it from the graph if desired.
+func ReadSnapshot(r io.Reader) (*Engine, error) {
+	// The tee sits *above* the buffered reader so the CRC sees exactly
+	// the bytes the parser consumes — bufio read-ahead stays out of it.
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	tee := io.TeeReader(br, crc)
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(tee, magic); err != nil {
+		return nil, fmt.Errorf("simrank: snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("simrank: bad snapshot magic %q", magic)
+	}
+	var (
+		version, k, flags, n, m uint32
+		cBits                   uint64
+	)
+	for _, p := range []any{&version, &cBits, &k, &flags, &n, &m} {
+		if err := binary.Read(tee, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot header: %w", err)
+		}
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("simrank: unsupported snapshot version %d", version)
+	}
+	c := math.Float64frombits(cBits)
+	if c <= 0 || c >= 1 || k < 1 {
+		return nil, fmt.Errorf("simrank: snapshot has invalid options C=%v K=%d", c, k)
+	}
+	const maxNodes = 1 << 24 // sanity bound against corrupt headers
+	if n > maxNodes || m > maxNodes*16 {
+		return nil, fmt.Errorf("simrank: snapshot dimensions implausible (n=%d m=%d)", n, m)
+	}
+	g := graph.New(int(n))
+	for i := uint32(0); i < m; i++ {
+		var from, to uint32
+		if err := binary.Read(tee, binary.LittleEndian, &from); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot edge %d: %w", i, err)
+		}
+		if err := binary.Read(tee, binary.LittleEndian, &to); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot edge %d: %w", i, err)
+		}
+		if from >= n || to >= n {
+			return nil, fmt.Errorf("simrank: snapshot edge %d out of range", i)
+		}
+		if !g.AddEdge(int(from), int(to)) {
+			return nil, fmt.Errorf("simrank: snapshot duplicate edge %d→%d", from, to)
+		}
+	}
+	s := matrix.NewDense(int(n), int(n))
+	buf := make([]byte, 8)
+	for i := range s.Data {
+		if _, err := io.ReadFull(tee, buf); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot matrix: %w", err)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("simrank: snapshot matrix entry %d is %v", i, v)
+		}
+		s.Data[i] = v
+	}
+	want := crc.Sum32() // payload fully consumed; trailer not yet read
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("simrank: snapshot checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("simrank: snapshot checksum mismatch (corrupt or truncated)")
+	}
+	opts := Options{C: c, K: int(k), DisablePruning: flags&flagNoPruning != 0}.withDefaults()
+	return &Engine{opts: opts, g: g, s: s}, nil
+}

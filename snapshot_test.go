@@ -1,0 +1,119 @@
+package simrank
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := mustEngine(t, 6, []Edge{
+		{From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 4, To: 3},
+	}, Options{C: 0.8, K: 20, DisablePruning: true})
+	if _, err := e.Insert(5, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != e.N() || got.M() != e.M() {
+		t.Fatalf("graph mismatch: %d/%d vs %d/%d", got.N(), got.M(), e.N(), e.M())
+	}
+	if o := got.Options(); o.C != 0.8 || o.K != 20 || !o.DisablePruning {
+		t.Fatalf("options mismatch: %+v", o)
+	}
+	if d := matrix.MaxAbsDiff(got.Similarities(), e.Similarities()); d != 0 {
+		t.Fatalf("similarities drifted %g through snapshot", d)
+	}
+	// The restored engine keeps working incrementally.
+	if _, err := got.Delete(5, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRestoredEngineStaysExact(t *testing.T) {
+	e := mustEngine(t, 5, []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 1}}, Options{C: 0.6, K: 40})
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Insert(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustEngine(t, 5, []Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 1}, {From: 4, To: 1},
+	}, Options{C: 0.6, K: 40})
+	if d := matrix.MaxAbsDiff(restored.Similarities(), fresh.Similarities()); d > 1e-9 {
+		t.Fatalf("restored engine drifted %g after update", d)
+	}
+}
+
+func TestSnapshotBadMagic(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("NOPExxxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	e := mustEngine(t, 4, []Edge{{From: 0, To: 1}}, Options{})
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 10, buf.Len() / 2, buf.Len() - 2} {
+		if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("want error for truncation at %d", cut)
+		}
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	e := mustEngine(t, 4, []Edge{{From: 0, To: 1}, {From: 2, To: 1}}, Options{})
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one bit somewhere in the similarity payload (past header+edges).
+	rng := rand.New(rand.NewSource(3))
+	corrupted := 0
+	for trial := 0; trial < 20; trial++ {
+		pos := 40 + rng.Intn(len(data)-44)
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x10
+		if _, err := ReadSnapshot(bytes.NewReader(mut)); err != nil {
+			corrupted++
+		}
+	}
+	if corrupted < 18 {
+		t.Fatalf("only %d/20 corruptions detected", corrupted)
+	}
+}
+
+func TestSnapshotRejectsSillyHeader(t *testing.T) {
+	e := mustEngine(t, 3, nil, Options{})
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Version bump must be rejected before any allocation.
+	mut := append([]byte(nil), data...)
+	mut[4] = 99
+	if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil {
+		t.Fatal("want error for unknown version")
+	}
+}
