@@ -447,6 +447,88 @@ func BenchmarkEngineInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineUpdateStream measures sustained update throughput on a
+// warm engine: a stream of deletes and re-inserts over a rotating edge
+// set, the steady-state shape of a live link feed. The "persistent"
+// variant is the engine hot path (workspace reuse + incremental Qᵀ; the
+// allocs/op column must read 0); "perCall" is the seed behavior — a fresh
+// workspace, Qᵀ rebuild and CSR sort on every update — kept as the
+// baseline the tentpole is measured against.
+func BenchmarkEngineUpdateStream(b *testing.B) {
+	d := gen.SmallDatasets()[0]
+	edges := d.Base.Edges()[:8]
+	b.Run("persistent", func(b *testing.B) {
+		eng, err := NewEngine(d.Base.N(), d.Base.Edges(), Options{C: exp.DampingC, K: d.K})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// One warm-up pass grows every pooled buffer to its steady size.
+		for _, e := range edges {
+			if _, err := eng.Delete(e.From, e.To); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Insert(e.From, e.To); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := edges[i%len(edges)]
+			if _, err := eng.Delete(e.From, e.To); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Insert(e.From, e.To); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("perCall", func(b *testing.B) {
+		g := d.Base.Clone()
+		s := batch.MatrixForm(g, exp.DampingC, d.K)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := edges[i%len(edges)]
+			del := graph.Update{Edge: e, Insert: false}
+			if _, err := core.IncSRInPlace(g, s, del, exp.DampingC, d.K); err != nil {
+				b.Fatal(err)
+			}
+			g.Apply(del)
+			ins := graph.Update{Edge: e, Insert: true}
+			if _, err := core.IncSRInPlace(g, s, ins, exp.DampingC, d.K); err != nil {
+				b.Fatal(err)
+			}
+			g.Apply(ins)
+		}
+	})
+}
+
+// BenchmarkEngineRecompute measures the batch safety valve through the
+// unified in-place kernel: sequential (zero allocations once warm) and
+// GOMAXPROCS-parallel, on the same engine state.
+func BenchmarkEngineRecompute(b *testing.B) {
+	g := gen.PrefAttach(400, 6, 23)
+	for _, workers := range []int{1, 0} {
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 5, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Recompute() // warm the workspace CSR + scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Recompute()
+			}
+		})
+	}
+}
+
 // --- Parameter ablations --------------------------------------------------
 
 // BenchmarkAblationDampingFactor sweeps C: larger damping factors slow

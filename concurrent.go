@@ -1,6 +1,10 @@
 package simrank
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/matrix"
+)
 
 // ConcurrentEngine wraps an Engine with a readers–writer lock so many
 // goroutines can query similarities while updates are serialized — the
@@ -95,4 +99,19 @@ func (c *ConcurrentEngine) ApplyBatch(ups []Update) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.eng.ApplyBatch(ups)
+}
+
+// Similarities returns a snapshot copy of the similarity matrix under a
+// read lock.
+func (c *ConcurrentEngine) Similarities() *matrix.Dense {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.Similarities()
+}
+
+// Recompute rebuilds the similarities from scratch under the write lock.
+func (c *ConcurrentEngine) Recompute() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eng.Recompute()
 }

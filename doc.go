@@ -24,4 +24,18 @@
 // touches all n² pairs. Both are exact: after any update sequence the
 // scores match a batch recomputation to within the iterative truncation
 // error C^{K+1}.
+//
+// # Compute core
+//
+// The engine owns a persistent compute workspace (internal/core): the
+// transposed transition matrix Qᵀ is maintained incrementally — an edge
+// change touches one row plus the d_j rescaled entries of column j, never
+// an O(m) rebuild — and every scratch buffer of the update algorithms is
+// pooled and reused, so a warm Engine.Apply performs zero heap
+// allocations. Batch computation (NewEngine, Recompute, ApplyBatch's
+// crossover) runs one row-partitioned sparse kernel (internal/matrix)
+// that ping-pongs between two preallocated n×n buffers; Options.Workers
+// sets its parallelism (0 = GOMAXPROCS) and every worker count produces
+// bit-identical results. See README.md for the architecture notes and
+// the benchmark suite (go test -bench=. -benchmem).
 package simrank

@@ -41,6 +41,13 @@ type Options struct {
 	// incremental path wins only while link updates are small). 0 selects
 	// the default 0.15; set ≥ 1 to always fold incrementally.
 	RecomputeThreshold float64
+	// Workers bounds the goroutines used by the batch computations
+	// (NewEngine's initial scores, Recompute, and ApplyBatch's recompute
+	// crossover). 0 selects GOMAXPROCS; 1 forces the sequential path,
+	// which additionally keeps a warm Recompute allocation-free. The
+	// result is bit-identical for every value — the serial and parallel
+	// paths share one row-partitioned kernel. Not persisted in snapshots.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,12 +80,18 @@ type Engine struct {
 	opts Options
 	g    *graph.DiGraph
 	s    *matrix.Dense
+	// ws is the persistent compute workspace: the incrementally-maintained
+	// transition matrices plus every update scratch buffer, so steady-state
+	// Apply allocates nothing. Built lazily (nil after ReadSnapshot and
+	// after AddNodes) and kept in lock-step with g by every mutation.
+	ws *core.Workspace
 	// lastStats records the most recent incremental update's work.
 	lastStats UpdateStats
 }
 
 // NewEngine builds an engine over n nodes with the given initial edges and
-// computes the initial similarities with the batch algorithm.
+// computes the initial similarities with the batch algorithm
+// (row-parallel across Options.Workers goroutines).
 func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -88,11 +101,22 @@ func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("simrank: negative node count %d", n)
 	}
 	g := graph.FromEdges(n, edges)
-	return &Engine{
-		opts: opts,
-		g:    g,
-		s:    batch.MatrixFormQ(g.BackwardTransition(), opts.C, opts.K),
-	}, nil
+	e := &Engine{opts: opts, g: g}
+	e.s = matrix.NewDense(n, n)
+	// The ping-pong scratch here is transient: engines that never call
+	// Recompute should not retain a second n×n buffer for their lifetime
+	// (the workspace allocates its own lazily on the first Recompute).
+	batch.MatrixFormInto(e.s, matrix.NewDense(n, n), e.workspace().TransitionCSR(), opts.C, opts.K, opts.Workers)
+	return e, nil
+}
+
+// workspace returns the engine's persistent compute workspace, building
+// it from the current graph on first use.
+func (e *Engine) workspace() *core.Workspace {
+	if e.ws == nil {
+		e.ws = core.NewWorkspace(e.g)
+	}
+	return e.ws
 }
 
 // N returns the number of nodes.
@@ -114,26 +138,11 @@ func (e *Engine) Similarities() *matrix.Dense { return e.s.Clone() }
 // TopK returns the k most similar distinct node-pairs.
 func (e *Engine) TopK(k int) []Pair { return metrics.TopKPairs(e.s, k) }
 
-// TopKFor returns up to k nodes most similar to node a, highest first.
+// TopKFor returns up to k nodes most similar to node a, highest first
+// (ties by node id ascending). A bounded min-heap keeps the row scan at
+// O(n·log k) instead of sorting every scored neighbor.
 func (e *Engine) TopKFor(a, k int) []Pair {
-	row := e.s.Row(a)
-	var pairs []Pair
-	for b, v := range row {
-		if b != a && v != 0 {
-			pairs = append(pairs, Pair{A: a, B: b, Score: v})
-		}
-	}
-	// Highest score first; ties by node id.
-	for i := 1; i < len(pairs); i++ {
-		for j := i; j > 0 && (pairs[j].Score > pairs[j-1].Score ||
-			(pairs[j].Score == pairs[j-1].Score && pairs[j].B < pairs[j-1].B)); j-- {
-			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
-		}
-	}
-	if k > len(pairs) {
-		k = len(pairs)
-	}
-	return pairs[:k]
+	return metrics.TopKRow(e.s.Row(a), a, k)
 }
 
 // Insert adds edge (i, j) and incrementally updates all similarities.
@@ -147,23 +156,28 @@ func (e *Engine) Delete(i, j int) (UpdateStats, error) {
 }
 
 // Apply performs one unit update incrementally (Inc-SR, or Inc-uSR when
-// pruning is disabled).
+// pruning is disabled). On a warm engine this is the zero-allocation hot
+// path: the persistent workspace supplies the transposed transition
+// matrix (maintained in O(d) per update, never rebuilt) and every scratch
+// buffer the algorithms need.
 func (e *Engine) Apply(up Update) (UpdateStats, error) {
-	// The in-place variants never mutate S before their last error check,
+	// The workspace variants never mutate S before their last error check,
 	// so a failed update leaves the engine untouched.
+	ws := e.workspace()
 	var (
 		st  UpdateStats
 		err error
 	)
 	if e.opts.DisablePruning {
-		st, err = core.IncUSRInPlace(e.g, e.s, up, e.opts.C, e.opts.K)
+		st, err = ws.IncUSR(e.s, up, e.opts.C, e.opts.K)
 	} else {
-		st, err = core.IncSRInPlace(e.g, e.s, up, e.opts.C, e.opts.K)
+		st, err = ws.IncSR(e.s, up, e.opts.C, e.opts.K)
 	}
 	if err != nil {
 		return UpdateStats{}, err
 	}
 	e.g.Apply(up)
+	ws.ApplyUpdate(up)
 	e.lastStats = st
 	return st, nil
 }
@@ -186,6 +200,9 @@ func (e *Engine) ApplyBatch(ups []Update) error {
 				return &core.ErrBadUpdate{Update: up, Reason: "not applicable in sequence"}
 			}
 			e.g.Apply(up)
+			if e.ws != nil {
+				e.ws.ApplyUpdate(up)
+			}
 		}
 		e.Recompute()
 		return nil
@@ -217,13 +234,21 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 		next.Set(v, v, 1-e.opts.C)
 	}
 	e.s = next
+	// The workspace is sized for the old n; rebuild it lazily at the new
+	// size on the next update.
+	e.ws = nil
 	return first, nil
 }
 
 // Recompute rebuilds the similarities from scratch with the batch
 // algorithm (the engine's safety valve; never needed for correctness).
+// It runs the unified row-parallel kernel across Options.Workers
+// goroutines, ping-ponging between the engine's matrix and the
+// workspace's persistent scratch buffer — a warm sequential recompute
+// (Workers = 1) allocates nothing.
 func (e *Engine) Recompute() {
-	e.s = batch.MatrixFormQ(e.g.BackwardTransition(), e.opts.C, e.opts.K)
+	ws := e.workspace()
+	batch.MatrixFormInto(e.s, ws.DenseScratch(), ws.TransitionCSR(), e.opts.C, e.opts.K, e.opts.Workers)
 }
 
 // LastStats returns the statistics of the most recent incremental update.

@@ -15,6 +15,7 @@
 package batch
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/graph"
@@ -147,12 +148,19 @@ func PartialSumsShared(g *graph.DiGraph, c float64, k int) *matrix.Dense {
 		ins[v] = g.InNeighbors(v)
 	}
 	// Group nodes by identical in-neighbor set: each group computes its
-	// partial-sum row once.
+	// partial-sum row once. The key is the varint encoding of the sorted
+	// neighbor ids — deterministic and collision-free (varints are
+	// self-delimiting), without fmt's per-node formatting cost.
 	groupOf := make([]int, n)
 	var groupRep []int // representative node per group
 	seen := map[string]int{}
+	var keyBuf []byte
 	for v := 0; v < n; v++ {
-		key := fmt.Sprint(ins[v])
+		keyBuf = keyBuf[:0]
+		for _, u := range ins[v] {
+			keyBuf = binary.AppendUvarint(keyBuf, uint64(u))
+		}
+		key := string(keyBuf)
 		gid, ok := seen[key]
 		if !ok {
 			gid = len(groupRep)
@@ -214,49 +222,12 @@ func MatrixForm(g *graph.DiGraph, c float64, k int) *matrix.Dense {
 	return MatrixFormQ(q, c, k)
 }
 
-// MatrixFormQ is MatrixForm for a pre-built transition matrix Q.
+// MatrixFormQ is MatrixForm for a pre-built transition matrix Q. It is the
+// workers = 1 case of the unified kernel (see MatrixFormInto); output is
+// bit-identical to every other worker count.
 func MatrixFormQ(q *matrix.CSR, c float64, k int) *matrix.Dense {
 	n := q.RowsN
-	s := matrix.Identity(n).Scale(1 - c)
-	tmp := matrix.NewDense(n, n)
-	for iter := 0; iter < k; iter++ {
-		// tmp = Q·S  (row i of tmp = Σ_k Q[i][k]·S[k][·])
-		spMulDense(tmp, q, s)
-		// s = C·(Q·Sᵀ-style second product) + (1−C)·I:
-		// (Q·S·Qᵀ) = (Q·(Q·S)ᵀ)ᵀ, and Q·S·Qᵀ is symmetric when S is,
-		// so we can write the result directly.
-		next := matrix.NewDense(n, n)
-		spMulDenseT(next, q, tmp)
-		next.Scale(c)
-		for d := 0; d < n; d++ {
-			next.Add(d, d, 1-c)
-		}
-		s = next
-	}
+	s := matrix.NewDense(n, n)
+	MatrixFormInto(s, matrix.NewDense(n, n), q, c, k, 1)
 	return s
-}
-
-// spMulDense computes dst = q·s for CSR q and dense s.
-func spMulDense(dst *matrix.Dense, q *matrix.CSR, s *matrix.Dense) {
-	dst.Zero()
-	for i := 0; i < q.RowsN; i++ {
-		drow := dst.Row(i)
-		for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
-			matrix.Axpy(q.Val[kk], s.Row(q.ColIdx[kk]), drow)
-		}
-	}
-}
-
-// spMulDenseT computes dst = (q·tᵀ)ᵀ = t·qᵀ for CSR q and dense t.
-func spMulDenseT(dst *matrix.Dense, q *matrix.CSR, t *matrix.Dense) {
-	dst.Zero()
-	// dst[a][i] = Σ_k q[i][k]·t[a][k] → iterate rows of q, scatter columns.
-	for i := 0; i < q.RowsN; i++ {
-		for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
-			col, v := q.ColIdx[kk], q.Val[kk]
-			for a := 0; a < t.Rows; a++ {
-				dst.Data[a*dst.Cols+i] += v * t.Data[a*t.Cols+col]
-			}
-		}
-	}
 }

@@ -2,85 +2,77 @@ package batch
 
 import (
 	"runtime"
-	"sync"
 
 	"repro/internal/matrix"
 )
 
-// MatrixFormParallel computes the same matrix-form fixed point as
-// MatrixFormQ with the two sparse-dense products of each iteration
-// row-partitioned across workers — the CPU analogue of He et al.'s
-// parallel SimRank aggregation [8], which the paper's related work
-// contrasts with its pruning approach. workers ≤ 0 selects GOMAXPROCS.
+// MatrixFormInto is the unified matrix-form kernel behind MatrixFormQ and
+// MatrixFormParallel: it computes K iterations of S ← C·Q·S·Qᵀ + (1−C)·Iₙ
+// into s, ping-ponging between s and tmp so the whole iteration allocates
+// nothing. Both buffers must be n×n (n = q's row count); tmp's contents
+// are scratch. workers ≤ 0 selects GOMAXPROCS.
 //
-// The output is bit-identical to MatrixFormQ: each output row is the same
-// left-to-right accumulation, only computed on a different goroutine.
-func MatrixFormParallel(q *matrix.CSR, c float64, k, workers int) *matrix.Dense {
+// Each of the two sparse-dense products per iteration is row-partitioned
+// across workers (the CPU analogue of He et al.'s parallel SimRank
+// aggregation [8], which the paper's related work contrasts with its
+// pruning approach). Per output row the floating-point accumulation order
+// is fixed by the CSR layout of q, not by the partition, so the result is
+// bit-identical for every worker count — callers may switch between
+// sequential and parallel freely without perturbing exact tests.
+func MatrixFormInto(s, tmp *matrix.Dense, q *matrix.CSR, c float64, k, workers int) {
+	n := q.RowsN
+	if s.Rows != n || s.Cols != n || tmp.Rows != n || tmp.Cols != n {
+		panic("batch: MatrixFormInto buffer dimension mismatch")
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := q.RowsN
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		return MatrixFormQ(q, c, k)
+	// S₀ = (1−C)·Iₙ.
+	s.Zero()
+	for d := 0; d < n; d++ {
+		s.Set(d, d, 1-c)
 	}
-	s := matrix.Identity(n).Scale(1 - c)
-	tmp := matrix.NewDense(n, n)
-	next := matrix.NewDense(n, n)
+	if workers <= 1 {
+		// Serial fast path: calling the kernels directly (instead of
+		// through ParallelRows) keeps the closures from escaping, so a
+		// one-worker recompute performs zero heap allocations.
+		for iter := 0; iter < k; iter++ {
+			matrix.SpMulDense(tmp, q, s, 0, n)
+			matrix.SpMulDenseT(s, q, tmp, c, 0, n)
+			for d := 0; d < n; d++ {
+				s.Add(d, d, 1-c)
+			}
+		}
+		return
+	}
 	for iter := 0; iter < k; iter++ {
 		// tmp = Q·S, rows split across workers.
-		parallelRows(n, workers, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				drow := tmp.Row(i)
-				for x := range drow {
-					drow[x] = 0
-				}
-				for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
-					matrix.Axpy(q.Val[kk], s.Row(q.ColIdx[kk]), drow)
-				}
+		matrix.ParallelRows(n, workers, func(lo, hi int) {
+			matrix.SpMulDense(tmp, q, s, lo, hi)
+		})
+		// s = C·(tmp·Qᵀ) + (1−C)·I; row a of the result reads only row a
+		// of tmp, so the same row partition is race-free.
+		matrix.ParallelRows(n, workers, func(lo, hi int) {
+			matrix.SpMulDenseT(s, q, tmp, c, lo, hi)
+			for d := lo; d < hi; d++ {
+				s.Add(d, d, 1-c)
 			}
 		})
-		// next = C·(tmp·Qᵀ) + (1−C)·I; row a of the result reads only
-		// row a of tmp, so the same row partition is race-free.
-		parallelRows(n, workers, func(lo, hi int) {
-			for a := lo; a < hi; a++ {
-				trow := tmp.Row(a)
-				nrow := next.Row(a)
-				for x := range nrow {
-					nrow[x] = 0
-				}
-				for i := 0; i < n; i++ {
-					var sum float64
-					for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
-						sum += q.Val[kk] * trow[q.ColIdx[kk]]
-					}
-					nrow[i] = c * sum
-				}
-				nrow[a] += 1 - c
-			}
-		})
-		s, next = next, s
 	}
-	return s
 }
 
-// parallelRows runs fn over [0, n) split into contiguous chunks, one per
-// worker, and waits for completion.
-func parallelRows(n, workers int, fn func(lo, hi int)) {
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+// MatrixFormParallel computes the same matrix-form fixed point as
+// MatrixFormQ with the two sparse-dense products of each iteration
+// row-partitioned across workers. workers ≤ 0 selects GOMAXPROCS.
+//
+// The output is bit-identical to MatrixFormQ: both are the same unified
+// kernel (MatrixFormInto), only the row partition differs.
+func MatrixFormParallel(q *matrix.CSR, c float64, k, workers int) *matrix.Dense {
+	n := q.RowsN
+	s := matrix.NewDense(n, n)
+	MatrixFormInto(s, matrix.NewDense(n, n), q, c, k, workers)
+	return s
 }

@@ -25,43 +25,49 @@ func IncSR(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64, k int)
 // actually meets the O(K(nd + |AFF|)) bound: the non-mutating wrapper
 // pays an extra Θ(n²) for the defensive copy, which would dominate small
 // affected areas.
+//
+// It builds a fresh Workspace (Qᵀ, in-degrees, scratch) from g on every
+// call. Callers applying a stream of updates should hold a Workspace and
+// use its IncSR method instead, which reuses all of that state and
+// performs zero heap allocations once warm — the engine facade does so.
 func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64, k int) (Stats, error) {
-	n := g.N()
+	return NewWorkspace(g).IncSR(s, up, c, k)
+}
+
+// IncSR performs one unit update on s (Algorithm 2) using the workspace's
+// maintained Qᵀ and in-degrees — the zero-allocation steady-state path.
+// s is mutated only after all validation, so a failed update leaves it
+// untouched; the workspace itself must reflect the pre-update graph and
+// is left unchanged (call ApplyUpdate separately once the graph changes).
+func (ws *Workspace) IncSR(s *matrix.Dense, up graph.Update, c float64, k int) (Stats, error) {
+	n := ws.n
 	if s.Rows != n || s.Cols != n {
 		return Stats{}, &ErrBadUpdate{up, "similarity matrix size mismatch"}
 	}
-	ro, err := Decompose(g, up)
+	// Theorem 1: ΔQ = uv·e_j·vᵀ, v in ws.vws.
+	uv, err := ws.decompose(up)
 	if err != nil {
 		return Stats{}, err
 	}
+	ws.ensureIncSR()
 	i, j := up.Edge.From, up.Edge.To
-	dj := g.InDegree(j)
-
-	// In-degrees of the old graph, used by the sparse Q·x scatter
-	// ([Q]_{a,b} = 1/d_a for b ∈ I(a)).
-	din := make([]int, n)
-	for v := 0; v < n; v++ {
-		din[v] = g.InDegree(v)
-	}
-	// Qᵀ in CSR form: row b lists (a, 1/d_a) for a ∈ O(b), so the sparse
-	// scatter walks contiguous arrays instead of adjacency hash maps.
-	qt := transposedQ(g, din)
+	dj := ws.din[j]
 
 	// Line 3: B₀ = F₁ ∪ F₂ ∪ {j} (Eqs. 38–40).
 	//   F₁ = out-neighbors of nodes y with [S]_{i,y} ≠ 0 — covers supp(Q·[S]_{·,i});
 	//   F₂ = {y : [S]_{j,y} ≠ 0} unless the update makes/made j a source
 	//        (d_j = 0 insert, d_j = 1 delete), in which case γ has no
 	//        [S]_{·,j} term and F₂ = ∅.
-	b0 := newWsVec(n) // used as an index set; values unused
+	b0 := ws.b0 // used as an index set; values unused
 	b0.add(j, 1)
 	srow := s.Row(i)
 	for y := 0; y < n; y++ {
 		if srow[y] > ZeroTol || srow[y] < -ZeroTol {
-			g.EachOutNeighbor(y, func(b int) {
-				if !b0.mark[b] {
-					b0.add(b, 1)
+			for _, e := range ws.qt[y] {
+				if !b0.mark[e.idx] {
+					b0.add(e.idx, 1)
 				}
-			})
+			}
 		}
 	}
 	needF2 := (up.Insert && dj > 0) || (!up.Insert && dj > 1)
@@ -75,28 +81,32 @@ func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64,
 	}
 
 	// Lines 3–12: memoize [w]_b = [Q]_{b,·}·[S]_{·,i} and γ only on B₀.
-	si := s.Col(i)
-	w := newWsVec(n)
+	si := ws.si
+	for v := 0; v < n; v++ {
+		si[v] = s.Data[v*n+i]
+	}
+	w := ws.w
 	for _, b := range b0.supp {
-		if din[b] == 0 {
+		if ws.din[b] == 0 {
 			continue
 		}
 		var sum float64
-		g.EachInNeighbor(b, func(y int) { sum += si[y] })
-		w.add(b, sum/float64(din[b]))
+		for _, e := range ws.q[b] {
+			sum += si[e.idx]
+		}
+		w.add(b, sum/float64(ws.din[b]))
 	}
 	lam := lambda(s, i, j, w.at(j), c)
-	gam := gammaWs(s, w, lam, up, dj, c, b0)
+	gam := ws.gam
+	gammaWs(gam, s, w, lam, up, dj, c, b0)
 
 	// Lines 13–19: iterate sparse ξ/η with the implicit
 	// Q̃x = Qx + (vᵀx)u, accumulating each rank-one term ξ_k·η_kᵀ into M.
-	// M is stored as lazily-allocated dense rows: only rows in the
-	// affected frontier ∪supp(ξ_k) ever exist, so memory is |rows|·n ≤ n²
-	// and the inner loop is the same contiguous multiply-add as Inc-uSR's
-	// — just restricted to the frontier.
-	mRows := make([][]float64, n)
-	var rowSupp []int
-	colSupp := newWsVec(n) // index set of ∪supp(η_k)
+	// M is stored as pooled dense rows: only rows in the affected frontier
+	// ∪supp(ξ_k) ever exist, so memory is |rows|·n ≤ n² and the inner loop
+	// is the same contiguous multiply-add as Inc-uSR's — just restricted
+	// to the frontier.
+	colSupp := ws.colSupp // index set of ∪supp(η_k)
 	applyTerm := func(xi, eta *wsVec) {
 		denseEta := len(eta.supp) > n/2
 		for _, b := range eta.supp {
@@ -106,12 +116,7 @@ func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64,
 		}
 		for _, a := range xi.supp {
 			va := xi.vals[a]
-			row := mRows[a]
-			if row == nil {
-				row = make([]float64, n)
-				mRows[a] = row
-				rowSupp = append(rowSupp, a)
-			}
+			row := ws.mRow(a)
 			if denseEta {
 				// Frontier ≈ full row: a contiguous multiply-add beats
 				// the indexed gather (zero entries contribute nothing).
@@ -126,36 +131,29 @@ func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64,
 		}
 	}
 
-	// v as a workspace vector for fast dot products.
-	vws := newWsVec(n)
-	for idx, val := range ro.V.Val {
-		vws.add(idx, val)
-	}
-	uv := ro.U.At(j)
-
-	xi := newWsVec(n)
+	xi := ws.xi
 	xi.add(j, c)
 	eta := gam
 	applyTerm(xi, eta) // M₀ = C·e_j·γᵀ
 
-	xiNext, etaNext := newWsVec(n), newWsVec(n)
+	xiNext, etaNext := ws.xiNext, ws.etaNext
 	var frontier float64
 	peakAux := xi.nnz() + eta.nnz()
 	for iter := 0; iter < k; iter++ {
 		frontier += float64(xi.nnz()) * float64(eta.nnz())
 
-		vxi := vws.dot(xi)
+		vxi := ws.vws.dot(xi)
 		xiNext.reset()
-		scatterQWs(qt, xi, xiNext)
+		ws.scatterQ(xi, xiNext)
 		for _, a := range xiNext.supp {
 			xiNext.vals[a] *= c
 		}
 		xiNext.add(j, c*vxi*uv)
 		xiNext.compact(ZeroTol)
 
-		veta := vws.dot(eta)
+		veta := ws.vws.dot(eta)
 		etaNext.reset()
-		scatterQWs(qt, eta, etaNext)
+		ws.scatterQ(eta, etaNext)
 		etaNext.add(j, veta*uv)
 		etaNext.compact(ZeroTol)
 
@@ -169,13 +167,16 @@ func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64,
 
 	// Line 20: S̃ = S + M_K + M_Kᵀ over the affected support only, and
 	// count the distinct pairs either M or Mᵀ touches. All reads of the
-	// old S happened above, so mutating in place is safe.
-	touched := newPairBitset(n)
-	for _, a := range rowSupp {
-		mrow := mRows[a]
+	// old S happened above, so mutating in place is safe. The M rows are
+	// scrubbed as they are read and returned to the pool for the next
+	// update.
+	touched := ws.touched
+	for _, a := range ws.rowSupp {
+		mrow := ws.mRows[a]
 		orow := s.Row(a)
 		for _, b := range colSupp.supp {
 			v := mrow[b]
+			mrow[b] = 0
 			if v <= ZeroTol && v >= -ZeroTol {
 				continue
 			}
@@ -184,6 +185,8 @@ func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64,
 			touched.set(a, b)
 			touched.set(b, a)
 		}
+		ws.mRows[a] = nil
+		ws.rowPool = append(ws.rowPool, mrow)
 	}
 
 	iters := k
@@ -194,48 +197,32 @@ func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64,
 		Iterations:    k,
 		AffectedPairs: touched.count,
 		FrontierArea:  frontier / float64(iters),
-		// M's lazily-allocated rows, the workspace vectors, the
-		// touched-pair bitset (1/64 float per pair each), and the
-		// B₀/w/γ memos.
-		AuxFloats: len(rowSupp)*n + peakAux + len(touched.words) + w.nnz() + b0.nnz(),
+		// M's pooled rows, the workspace vectors, the touched-pair bitset
+		// (1/64 float per pair each), and the B₀/w/γ memos.
+		AuxFloats: len(ws.rowSupp)*n + peakAux + len(touched.words) + w.nnz() + b0.nnz(),
 	}
+
+	// Reset every transient so the next update starts clean; each reset is
+	// proportional to the support it clears. xi/eta aliases cover all four
+	// iteration buffers regardless of swap parity (gam doubles as η₀).
+	ws.rowSupp = ws.rowSupp[:0]
+	touched.reset()
+	b0.reset()
+	w.reset()
+	ws.vws.reset()
+	colSupp.reset()
+	xi.reset()
+	eta.reset()
+	xiNext.reset()
+	etaNext.reset()
 	return st, nil
 }
 
-// transposedQ builds Qᵀ in CSR form: row b holds (a, 1/d_a) for every
-// out-neighbor a of b. O(m) plus the CSR sort.
-func transposedQ(g *graph.DiGraph, din []int) *matrix.CSR {
-	is := make([]int, 0, g.M())
-	js := make([]int, 0, g.M())
-	vs := make([]float64, 0, g.M())
-	for b := 0; b < g.N(); b++ {
-		g.EachOutNeighbor(b, func(a int) {
-			is = append(is, b)
-			js = append(js, a)
-			vs = append(vs, 1/float64(din[a]))
-		})
-	}
-	return matrix.NewCSR(g.N(), g.N(), is, js, vs)
-}
-
-// scatterQWs computes dst += Q·x for workspace vectors:
-// [Q·x]_a = Σ_{b ∈ I(a)} x_b / d_a, accumulated along the rows of Qᵀ.
-func scatterQWs(qt *matrix.CSR, x, dst *wsVec) {
-	for _, b := range x.supp {
-		xb := x.vals[b]
-		lo, hi := qt.RowPtr[b], qt.RowPtr[b+1]
-		for k := lo; k < hi; k++ {
-			dst.add(qt.ColIdx[k], xb*qt.Val[k])
-		}
-	}
-}
-
-// gammaWs is gammaDense restricted to the B₀ support (Algorithm 2 lines
-// 4–12): every entry of γ outside B₀ is structurally zero by the
-// Theorem-4 argument, so it is never materialized.
-func gammaWs(s *matrix.Dense, w *wsVec, lam float64, up graph.Update, dj int, c float64, b0 *wsVec) *wsVec {
+// gammaWs fills gam with gammaDense restricted to the B₀ support
+// (Algorithm 2 lines 4–12): every entry of γ outside B₀ is structurally
+// zero by the Theorem-4 argument, so it is never materialized.
+func gammaWs(gam *wsVec, s *matrix.Dense, w *wsVec, lam float64, up graph.Update, dj int, c float64, b0 *wsVec) {
 	i, j := up.Edge.From, up.Edge.To
-	gam := newWsVec(s.Rows)
 	if up.Insert {
 		if dj == 0 {
 			for _, b := range b0.supp {
@@ -262,5 +249,4 @@ func gammaWs(s *matrix.Dense, w *wsVec, lam float64, up graph.Update, dj int, c 
 		gam.add(j, f*(lam/(2*float64(dj-1))-1/c+1))
 	}
 	gam.compact(ZeroTol)
-	return gam
 }

@@ -30,19 +30,18 @@ func lambda(s *matrix.Dense, i, j int, wj, c float64) float64 {
 	return s.At(i, i) + s.At(j, j)/c - 2*wj - 1/c + 1
 }
 
-// gammaDense builds the auxiliary vector γ of Theorem 3 (Eqs. 27–28) given
-// the memoized w = Q·[S]_{·,i}, the scalar λ, the old S, and the update.
-// dj is the in-degree of j in the old graph.
-func gammaDense(s *matrix.Dense, w []float64, lam float64, up graph.Update, dj int, c float64) []float64 {
+// gammaDense fills gam with the auxiliary vector γ of Theorem 3
+// (Eqs. 27–28) given the memoized w = Q·[S]_{·,i}, the scalar λ, the old
+// S, and the update. dj is the in-degree of j in the old graph.
+func gammaDense(gam []float64, s *matrix.Dense, w []float64, lam float64, up graph.Update, dj int, c float64) {
 	n := s.Rows
 	i, j := up.Edge.From, up.Edge.To
-	gam := make([]float64, n)
 	if up.Insert {
 		if dj == 0 {
 			// γ = w + ½[S]_{i,i}·e_j
 			copy(gam, w)
 			gam[j] += 0.5 * s.At(i, i)
-			return gam
+			return
 		}
 		// γ = 1/(d_j+1)·( w − (1/C)[S]_{·,j} + (λ/(2(d_j+1)) + 1/C − 1)·e_j )
 		f := 1 / float64(dj+1)
@@ -50,7 +49,7 @@ func gammaDense(s *matrix.Dense, w []float64, lam float64, up graph.Update, dj i
 			gam[b] = f * (w[b] - s.At(b, j)/c)
 		}
 		gam[j] += f * (lam/(2*float64(dj+1)) + 1/c - 1)
-		return gam
+		return
 	}
 	if dj == 1 {
 		// γ = ½[S]_{i,i}·e_j − w
@@ -58,7 +57,7 @@ func gammaDense(s *matrix.Dense, w []float64, lam float64, up graph.Update, dj i
 			gam[b] = -w[b]
 		}
 		gam[j] += 0.5 * s.At(i, i)
-		return gam
+		return
 	}
 	// γ = 1/(d_j−1)·( (1/C)[S]_{·,j} − w + (λ/(2(d_j−1)) − 1/C + 1)·e_j )
 	f := 1 / float64(dj-1)
@@ -66,7 +65,6 @@ func gammaDense(s *matrix.Dense, w []float64, lam float64, up graph.Update, dj i
 		gam[b] = f * (s.At(b, j)/c - w[b])
 	}
 	gam[j] += f * (lam/(2*float64(dj-1)) - 1/c + 1)
-	return gam
 }
 
 // IncUSR is Algorithm 1 (Inc-uSR): given the old graph g, its matrix-form
@@ -86,47 +84,73 @@ func IncUSR(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64, k int
 }
 
 // IncUSRInPlace is IncUSR mutating s directly, sparing the Θ(n²)
-// defensive copy of the non-mutating wrapper.
+// defensive copy of the non-mutating wrapper. Like IncSRInPlace it builds
+// a fresh Workspace per call; stream callers should use
+// Workspace.IncUSR, which reuses the dense scratch across updates.
 func IncUSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64, k int) (Stats, error) {
-	n := g.N()
+	return NewWorkspace(g).IncUSR(s, up, c, k)
+}
+
+// IncUSR performs one unit update on s (Algorithm 1) using the
+// workspace's maintained Q and in-degrees and its persistent dense
+// scratch (M plus the ξ/η/w/γ vectors, allocated on first use) — zero
+// heap allocations once warm. s is mutated only after all validation; the
+// workspace must reflect the pre-update graph and is left unchanged (call
+// ApplyUpdate separately once the graph changes).
+func (ws *Workspace) IncUSR(s *matrix.Dense, up graph.Update, c float64, k int) (Stats, error) {
+	n := ws.n
 	if s.Rows != n || s.Cols != n {
 		return Stats{}, &ErrBadUpdate{up, "similarity matrix size mismatch"}
 	}
-	ro, err := Decompose(g, up)
+	uv, err := ws.decompose(up)
 	if err != nil {
 		return Stats{}, err
 	}
+	ws.ensureDense()
 	i, j := up.Edge.From, up.Edge.To
-	dj := g.InDegree(j)
-	q := g.BackwardTransition()
+	dj := ws.din[j]
 
 	// Lines 3–4: w := Q·[S]_{·,i};  λ := [S]_{i,i} + [S]_{j,j}/C − 2[w]_j − 1/C + 1.
-	w := q.MulVec(s.Col(i))
+	si := ws.si
+	for v := 0; v < n; v++ {
+		si[v] = s.Data[v*n+i]
+	}
+	w := ws.wD
+	ws.mulQ(w, si)
 	lam := lambda(s, i, j, w[j], c)
 
 	// Lines 5–12: γ per Theorem 3.
-	gam := gammaDense(s, w, lam, up, dj, c)
+	gam := ws.gamD
+	gammaDense(gam, s, w, lam, up, dj, c)
 
 	// Lines 13–17: iterate ξ, η; accumulate M = Σ ξ_k·η_kᵀ.
 	// Q̃·x is applied implicitly as Q·x + (vᵀx)·u (Theorem 1).
-	xi := make([]float64, n)
+	xi := ws.xiD
+	for v := range xi {
+		xi[v] = 0
+	}
 	xi[j] = c
-	eta := matrix.CloneVec(gam)
-	m := matrix.NewDense(n, n)
-	matrix.AddOuter(m, c, matrix.UnitVec(n, j), gam)
-	uj, uv := j, ro.U.At(j) // u = uv·e_j
+	eta := ws.etaD
+	copy(eta, gam)
+	m := ws.mDense
+	m.Zero()
+	// M₀ = C·e_j·γᵀ: the unit-vector outer product touches only row j.
+	matrix.Axpy(c, gam, m.Row(j))
+	uj := j // u = uv·e_j
+	xiNext, etaNext := ws.xiNextD, ws.etaNextD
 	for iter := 0; iter < k; iter++ {
-		vxi := ro.V.Dot(xi)
-		xiNext := q.MulVec(xi)
+		vxi := ws.vws.dotDense(xi)
+		ws.mulQ(xiNext, xi)
 		matrix.ScaleVec(c, xiNext)
 		xiNext[uj] += c * vxi * uv
 
-		veta := ro.V.Dot(eta)
-		etaNext := q.MulVec(eta)
+		veta := ws.vws.dotDense(eta)
+		ws.mulQ(etaNext, eta)
 		etaNext[uj] += veta * uv
 
 		matrix.AddOuter(m, 1, xiNext, etaNext)
-		xi, eta = xiNext, etaNext
+		xi, xiNext = xiNext, xi
+		eta, etaNext = etaNext, eta
 	}
 
 	// Line 18: S̃ := S + M_K + M_Kᵀ. All reads of the old S happened in
@@ -143,6 +167,7 @@ func IncUSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64
 			orow[b] += d
 		}
 	}
+	ws.vws.reset()
 	st := Stats{
 		Iterations:    k,
 		AffectedPairs: affected,

@@ -72,11 +72,23 @@ func (w *wsVec) dot(o *wsVec) float64 {
 	return s
 }
 
+// dotDense returns the inner product with a dense vector, iterating the
+// workspace support in insertion order.
+func (w *wsVec) dotDense(x []float64) float64 {
+	var s float64
+	for _, i := range w.supp {
+		s += w.vals[i] * x[i]
+	}
+	return s
+}
+
 // pairBitset tracks which node-pairs an update touched, for the |AFF|
-// statistic, at one bit per pair.
+// statistic, at one bit per pair. Dirty words are recorded so a reusable
+// bitset resets in O(words touched) instead of O(n²/64).
 type pairBitset struct {
 	n     int
 	words []uint64
+	dirty []int // indices of words with at least one bit set
 	count int
 }
 
@@ -91,7 +103,19 @@ func (p *pairBitset) set(a, b int) bool {
 	if p.words[w]&bit != 0 {
 		return false
 	}
+	if p.words[w] == 0 {
+		p.dirty = append(p.dirty, w)
+	}
 	p.words[w] |= bit
 	p.count++
 	return true
+}
+
+// reset clears every set bit for reuse, touching only dirty words.
+func (p *pairBitset) reset() {
+	for _, w := range p.dirty {
+		p.words[w] = 0
+	}
+	p.dirty = p.dirty[:0]
+	p.count = 0
 }

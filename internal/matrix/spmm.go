@@ -1,0 +1,106 @@
+package matrix
+
+import "sync"
+
+// Sparse-dense matrix-matrix kernels, row-partitioned so one code path
+// serves both the sequential and the parallel matrix-form SimRank
+// iteration. Every kernel computes a contiguous row range [lo, hi) of its
+// output; callers split the range across workers with ParallelRows. For a
+// fixed output entry the floating-point accumulation order is independent
+// of the partition (and of the scatter block size), so serial and parallel
+// runs produce bit-identical matrices.
+
+// SpMulDense computes rows [lo, hi) of dst = q·s for CSR q and dense s.
+// Row i of dst depends only on row i of q, so disjoint ranges are
+// race-free. dst must not alias s.
+func SpMulDense(dst *Dense, q *CSR, s *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		for x := range drow {
+			drow[x] = 0
+		}
+		for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
+			Axpy(q.Val[kk], s.Row(q.ColIdx[kk]), drow)
+		}
+	}
+}
+
+// spmmBlockBytes bounds the output working set of one scatter block of
+// SpMulDenseT so its rows stay resident in L2 while every row of q is
+// streamed across them.
+const spmmBlockBytes = 1 << 18
+
+// SpMulDenseT computes rows [lo, hi) of dst = scale·(t·qᵀ) for CSR q and
+// dense t, i.e. dst[a][i] = scale·Σ_k q[i][k]·t[a][k]. Row a of dst reads
+// only row a of t, so disjoint ranges are race-free; dst may alias t's
+// sibling buffer but not t itself.
+//
+// The column-scatter loop is tiled: q is streamed once per block of output
+// rows instead of once per row, and the block is sized so its rows fit in
+// L2. Per output entry the contributions still accumulate in CSR row
+// order, then are scaled once — bit-identical for any block size.
+func SpMulDenseT(dst *Dense, q *CSR, t *Dense, scale float64, lo, hi int) {
+	cols := dst.Cols
+	block := 1
+	if cols > 0 {
+		block = spmmBlockBytes / (8 * cols)
+	}
+	if block < 1 {
+		block = 1
+	}
+	for blo := lo; blo < hi; blo += block {
+		bhi := blo + block
+		if bhi > hi {
+			bhi = hi
+		}
+		for a := blo; a < bhi; a++ {
+			drow := dst.Row(a)
+			for x := range drow {
+				drow[x] = 0
+			}
+		}
+		for i := 0; i < q.RowsN; i++ {
+			for kk := q.RowPtr[i]; kk < q.RowPtr[i+1]; kk++ {
+				col, v := q.ColIdx[kk], q.Val[kk]
+				for a := blo; a < bhi; a++ {
+					dst.Data[a*cols+i] += v * t.Data[a*t.Cols+col]
+				}
+			}
+		}
+		if scale != 1 {
+			for a := blo; a < bhi; a++ {
+				ScaleVec(scale, dst.Row(a))
+			}
+		}
+	}
+}
+
+// ParallelRows runs fn over [0, n) split into contiguous chunks, one per
+// worker, and waits for completion. workers ≤ 1 (or n ≤ 1) calls fn
+// directly on the calling goroutine — no goroutines, no allocation — so
+// hot paths that default to one worker stay allocation-free.
+func ParallelRows(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

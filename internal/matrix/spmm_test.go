@@ -1,0 +1,101 @@
+package matrix
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randCSR(rng *rand.Rand, rows, cols, nnz int) *CSR {
+	seen := map[[2]int]bool{}
+	var is, js []int
+	var vs []float64
+	for len(is) < nnz {
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		if seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		is = append(is, i)
+		js = append(js, j)
+		vs = append(vs, rng.NormFloat64())
+	}
+	return NewCSR(rows, cols, is, js, vs)
+}
+
+func TestSpMulDenseMatchesDenseMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(40)
+		q := randCSR(rng, n, n, 2*n)
+		s := randDense(rng, n, n)
+		want := Mul(q.Dense(), s)
+		got := randDense(rng, n, n) // dirty output buffer
+		SpMulDense(got, q, s, 0, n)
+		if d := MaxAbsDiff(got, want); d > 1e-12 {
+			t.Fatalf("trial %d: SpMulDense differs by %g", trial, d)
+		}
+	}
+}
+
+func TestSpMulDenseTMatchesDenseMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(40)
+		q := randCSR(rng, n, n, 2*n)
+		tm := randDense(rng, n, n)
+		scale := 0.5 + rng.Float64()
+		want := Mul(tm, q.Dense().T()).Scale(scale)
+		got := randDense(rng, n, n)
+		SpMulDenseT(got, q, tm, scale, 0, n)
+		if d := MaxAbsDiff(got, want); d > 1e-10 {
+			t.Fatalf("trial %d: SpMulDenseT differs by %g", trial, d)
+		}
+	}
+}
+
+// Partial row ranges must compose to the full product, and any partition
+// must be bit-identical to the single-range run — the invariant the
+// parallel matrix-form kernel rests on.
+func TestSpMMKernelsRowRangesCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 37
+	q := randCSR(rng, n, n, 4*n)
+	s := randDense(rng, n, n)
+	whole := NewDense(n, n)
+	SpMulDenseT(whole, q, s, 0.7, 0, n)
+	parts := NewDense(n, n)
+	for lo := 0; lo < n; lo += 5 {
+		hi := lo + 5
+		if hi > n {
+			hi = n
+		}
+		SpMulDenseT(parts, q, s, 0.7, lo, hi)
+	}
+	for i, v := range whole.Data {
+		if parts.Data[i] != v {
+			t.Fatalf("partitioned scatter differs at %d: %v vs %v", i, parts.Data[i], v)
+		}
+	}
+}
+
+func TestParallelRowsCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64} {
+			var mu sync.Mutex
+			hits := make([]int, n)
+			ParallelRows(n, workers, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: row %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}

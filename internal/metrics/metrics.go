@@ -52,6 +52,40 @@ func TopKPairs(s *matrix.Dense, k int) []Pair {
 	return out
 }
 
+// TopKRow extracts up to k highest-scoring entries of one similarity row
+// (node a's row), skipping the diagonal and zero scores — the
+// single-source analogue of TopKPairs. The same bounded min-heap keeps
+// the scan at O(n·log k) time and O(k) memory, and the result order is
+// deterministic: score descending, ties by neighbor id ascending.
+func TopKRow(row []float64, a, k int) []Pair {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(row) {
+		k = len(row) // at most n-1 candidates; don't size the heap to a huge k
+	}
+	h := make(pairHeap, 0, k+1)
+	for b, v := range row {
+		if b == a || v == 0 {
+			continue
+		}
+		p := Pair{A: a, B: b, Score: v}
+		if len(h) < k {
+			heap.Push(&h, p)
+			continue
+		}
+		if better(p, h[0]) {
+			h[0] = p
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Pair, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Pair)
+	}
+	return out
+}
+
 // NDCG computes the normalized discounted cumulative gain at k of a
 // ranking produced by `got` against ideal relevances taken from `ideal`
 // (both symmetric similarity matrices), the exactness metric of Exp-4:

@@ -78,6 +78,10 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 // ReadSnapshot restores an engine previously written by WriteSnapshot.
 // The similarity matrix is trusted as-is after the CRC check, not
 // recomputed; use Recompute to rebuild it from the graph if desired.
+// The compute workspace (transition matrices, update scratch) is not part
+// of the snapshot — a restored engine rebuilds it lazily from the graph
+// on its first update or recompute. Options.Workers is a runtime knob and
+// is likewise not persisted; restored engines use the GOMAXPROCS default.
 func ReadSnapshot(r io.Reader) (*Engine, error) {
 	// The tee sits *above* the buffered reader so the CRC sees exactly
 	// the bytes the parser consumes — bufio read-ahead stays out of it.

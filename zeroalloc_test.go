@@ -1,0 +1,192 @@
+package simrank
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randTestGraph(rng *rand.Rand, n, m int) *graph.DiGraph {
+	g := graph.New(n)
+	for g.M() < m {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// Steady-state Engine.Apply must perform zero heap allocations: the
+// persistent workspace supplies Qᵀ (maintained incrementally, never
+// rebuilt) and every scratch buffer. The toggle re-deletes and re-inserts
+// existing edges so graph-map and support capacities settle during the
+// warm-up pass.
+func TestEngineApplyZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randTestGraph(rng, 40, 160)
+	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()[:4]
+	toggle := func() {
+		for _, e := range edges {
+			if _, err := eng.Delete(e.From, e.To); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Insert(e.From, e.To); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	toggle() // warm up
+	if allocs := testing.AllocsPerRun(20, toggle); allocs != 0 {
+		t.Fatalf("warm Apply allocated %v times per toggle pass, want 0", allocs)
+	}
+}
+
+// The unpruned path shares the same guarantee once its dense scratch is
+// warm.
+func TestEngineApplyZeroAllocsUnpruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randTestGraph(rng, 30, 120)
+	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 8, DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := g.Edges()[0]
+	toggle := func() {
+		if _, err := eng.Delete(e0.From, e0.To); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Insert(e0.From, e0.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	toggle()
+	if allocs := testing.AllocsPerRun(20, toggle); allocs != 0 {
+		t.Fatalf("warm unpruned Apply allocated %v times per toggle, want 0", allocs)
+	}
+}
+
+// A warm sequential Recompute (Workers = 1) ping-pongs between the
+// engine's matrix and the workspace scratch — zero allocations. (The
+// parallel path allocates O(Workers) per iteration for its goroutines;
+// that small constant is the documented trade.)
+func TestEngineRecomputeZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := randTestGraph(rng, 50, 200)
+	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Recompute() // warm the CSR materialization buffers
+	if allocs := testing.AllocsPerRun(10, eng.Recompute); allocs != 0 {
+		t.Fatalf("warm Recompute allocated %v times, want 0", allocs)
+	}
+}
+
+// Recompute must be a fixed point on an unchanged graph even when run
+// through the in-place kernel with parallel workers.
+func TestEngineRecomputeParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randTestGraph(rng, 35, 140)
+	serial, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 12, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 12, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		serial.Recompute()
+		parallel.Recompute()
+	}
+	a, b := serial.Similarities(), parallel.Similarities()
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			t.Fatalf("serial and parallel recompute differ at %d: %v vs %v", i, v, b.Data[i])
+		}
+	}
+}
+
+// TopKFor's bounded min-heap must preserve the seed's exact order:
+// score descending, ties by neighbor id ascending, up to k entries.
+func TestEngineTopKForMatchesReference(t *testing.T) {
+	// Reference: the seed's insertion sort over all scored neighbors.
+	reference := func(e *Engine, a, k int) []Pair {
+		row := e.s.Row(a)
+		var pairs []Pair
+		for b, v := range row {
+			if b != a && v != 0 {
+				pairs = append(pairs, Pair{A: a, B: b, Score: v})
+			}
+		}
+		for i := 1; i < len(pairs); i++ {
+			for j := i; j > 0 && (pairs[j].Score > pairs[j-1].Score ||
+				(pairs[j].Score == pairs[j-1].Score && pairs[j].B < pairs[j-1].B)); j-- {
+				pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+			}
+		}
+		if k > len(pairs) {
+			k = len(pairs)
+		}
+		return pairs[:k]
+	}
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(30)
+		g := randTestGraph(rng, n, 3*n)
+		eng, err := NewEngine(n, g.Edges(), Options{C: 0.6, K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < n; a++ {
+			for _, k := range []int{0, 1, 2, 5, n, 2 * n} {
+				got := eng.TopKFor(a, k)
+				want := reference(eng, a, k)
+				if len(got) != len(want) {
+					t.Fatalf("TopKFor(%d,%d) len %d, want %d", a, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("TopKFor(%d,%d)[%d] = %+v, want %+v", a, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// A restored snapshot has no workspace; the first update must rebuild it
+// lazily and subsequent warm updates must again be allocation-free.
+func TestSnapshotRestoreRebuildsWorkspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := randTestGraph(rng, 25, 100)
+	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := g.Edges()[0]
+	toggle := func() {
+		if _, err := restored.Delete(e0.From, e0.To); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Insert(e0.From, e0.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	toggle() // builds the workspace lazily and warms it
+	if allocs := testing.AllocsPerRun(20, toggle); allocs != 0 {
+		t.Fatalf("restored engine allocated %v times per warm toggle, want 0", allocs)
+	}
+}
