@@ -1,0 +1,162 @@
+// Command simrankd serves a live SimRank engine over HTTP/JSON: query
+// endpoints (GET /similarity, /topk, /topkfor, /stats) answered off the
+// engine's read lock, and a write path (POST /updates) that coalesces
+// bursts of link updates into one batched write-lock acquisition per
+// drain cycle. See internal/server for the endpoint and coalescing
+// semantics.
+//
+// Usage:
+//
+//	simrankd -graph edges.txt [-addr :8080] [-snapshot state.simr]
+//	         [-c 0.6] [-k 15] [-no-prune] [-workers 0]
+//	simrankd -restore state.simr [-addr :8080] [-snapshot state.simr]
+//	simrankd -n 100                       # empty graph with 100 nodes
+//
+// With -snapshot set, POST /snapshot persists on demand and a graceful
+// shutdown (SIGINT/SIGTERM) drains the write pipeline and writes a final
+// snapshot, so `simrankd -restore state.simr` resumes exactly where the
+// previous process stopped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	simrank "repro"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		graphPth = flag.String("graph", "", "edge-list file to boot from (\"from to\" lines)")
+		nodes    = flag.Int("n", 0, "boot with an empty graph of this many nodes (if no -graph/-restore)")
+		restore  = flag.String("restore", "", "snapshot file to boot from (skips the batch computation)")
+		snapshot = flag.String("snapshot", "", "snapshot path for POST /snapshot and the final shutdown snapshot")
+		c        = flag.Float64("c", 0.6, "damping factor in (0,1)")
+		k        = flag.Int("k", 15, "iteration count")
+		noPrune  = flag.Bool("no-prune", false, "use Inc-uSR (no pruning) for updates")
+		workers  = flag.Int("workers", 0, "batch-computation goroutines (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 1024, "write-pipeline queue size (requests)")
+		maxBatch = flag.Int("max-batch", 1<<16, "max updates coalesced per drain cycle")
+		window   = flag.Duration("batch-window", 0, "hold each drain cycle open this long to deepen write coalescing (0 = commit immediately)")
+		maxNodes = flag.Int("max-nodes", 1<<14, "largest graph POST /nodes may grow to (the dense matrix costs 8n² bytes)")
+		timeout  = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	if *restore != "" {
+		// C, K and pruning are baked into the restored similarity state;
+		// silently running with different values than asked would be a
+		// trap, so combining them with -restore is an error. -workers is
+		// the one runtime knob, applied below.
+		var clash []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "c", "k", "no-prune", "n":
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			return fmt.Errorf("%s conflict with -restore: the snapshot fixes the graph and the C/K/pruning options (drop the flag or boot from -graph)", strings.Join(clash, ", "))
+		}
+	}
+	eng, err := bootEngine(*restore, *graphPth, *nodes, simrank.Options{
+		C: *c, K: *k, DisablePruning: *noPrune, Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	if *restore != "" && *workers != 0 {
+		eng.SetWorkers(*workers)
+	}
+	fmt.Printf("simrankd: engine ready (%d nodes, %d edges)\n", eng.N(), eng.M())
+
+	srv := server.New(eng, server.Config{
+		SnapshotPath: *snapshot,
+		QueueSize:    *queue,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *window,
+		MaxNodes:     *maxNodes,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("simrankd: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("simrankd: %v — draining\n", s)
+	}
+
+	// Stop accepting HTTP first, then drain the pipeline and persist, so
+	// every write we answered 202 for makes it into the final snapshot.
+	// The drain-and-snapshot must happen even if Shutdown times out on a
+	// stuck connection — accepted writes are never dropped.
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+	if err := srv.Close(); err != nil {
+		return errors.Join(shutdownErr, fmt.Errorf("drain/snapshot: %w", err))
+	}
+	if *snapshot != "" {
+		fmt.Printf("simrankd: final snapshot written to %s\n", *snapshot)
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("http shutdown: %w", shutdownErr)
+	}
+	return nil
+}
+
+// bootEngine builds the concurrent engine from, in order of preference, a
+// snapshot, an edge-list file, or an empty n-node graph.
+func bootEngine(restore, graphPath string, nodes int, opts simrank.Options) (*simrank.ConcurrentEngine, error) {
+	switch {
+	case restore != "" && graphPath != "":
+		return nil, errors.New("-restore and -graph are mutually exclusive")
+	case restore != "":
+		eng, err := simrank.ReadSnapshotFile(restore)
+		if err != nil {
+			return nil, fmt.Errorf("restore %s: %w", restore, err)
+		}
+		return simrank.WrapEngine(eng), nil
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.ParseEdgeList(f, 0)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		return simrank.NewConcurrentEngine(g.N(), g.Edges(), opts)
+	case nodes > 0:
+		return simrank.NewConcurrentEngine(nodes, nil, opts)
+	default:
+		return nil, errors.New("one of -graph, -restore or -n is required")
+	}
+}

@@ -1,6 +1,7 @@
 package simrank
 
 import (
+	"io"
 	"sync"
 
 	"repro/internal/matrix"
@@ -66,6 +67,15 @@ func (c *ConcurrentEngine) M() int {
 	return c.eng.M()
 }
 
+// Size returns the node and edge counts under ONE read lock, so the
+// pair is a consistent point-in-time view (separate N() and M() calls
+// can straddle a committed write).
+func (c *ConcurrentEngine) Size() (n, m int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.N(), c.eng.M()
+}
+
 // HasEdge reports edge presence under a read lock.
 func (c *ConcurrentEngine) HasEdge(i, j int) bool {
 	c.mu.RLock()
@@ -114,4 +124,37 @@ func (c *ConcurrentEngine) Recompute() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.eng.Recompute()
+}
+
+// AddNodes appends count isolated nodes under the write lock, returning
+// the id of the first new one.
+func (c *ConcurrentEngine) AddNodes(count int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.AddNodes(count)
+}
+
+// Options returns the engine's effective options under a read lock.
+func (c *ConcurrentEngine) Options() Options {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.Options()
+}
+
+// SetWorkers changes the batch-computation parallelism under the write
+// lock; see Engine.SetWorkers.
+func (c *ConcurrentEngine) SetWorkers(workers int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eng.SetWorkers(workers)
+}
+
+// WriteSnapshot serializes the engine under a read lock, so a snapshot
+// can be taken while queries keep being served — only writers wait for
+// the serialization to finish. ConcurrentEngine therefore satisfies
+// SnapshotWriter and can be handed to WriteSnapshotFile directly.
+func (c *ConcurrentEngine) WriteSnapshot(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.WriteSnapshot(w)
 }

@@ -38,4 +38,15 @@
 // sets its parallelism (0 = GOMAXPROCS) and every worker count produces
 // bit-identical results. See README.md for the architecture notes and
 // the benchmark suite (go test -bench=. -benchmem).
+//
+// # Serving
+//
+// internal/server (run as cmd/simrankd) exposes the engine over
+// HTTP/JSON: queries are answered off ConcurrentEngine's read lock, and
+// POST /updates feeds an asynchronous coalescing pipeline that folds
+// each burst of write requests through one ApplyBatch per drain cycle —
+// one write-lock acquisition for the whole burst, with opt-in
+// synchronous completion (?wait=1) and an atomic snapshot/restore
+// lifecycle (WriteSnapshotFile, the -snapshot and -restore flags). See
+// the README's "Serving" section for the endpoint table and semantics.
 package simrank

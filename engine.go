@@ -185,10 +185,16 @@ func (e *Engine) Apply(up Update) (UpdateStats, error) {
 // ApplyBatch folds a batch of unit updates. When the batch is large
 // relative to the edge count (≥ RecomputeThreshold·|E|), it applies the
 // graph changes and recomputes from scratch, which Exp-1 shows is the
-// faster regime. Every update must be applicable in sequence.
+// faster regime. Every update must be applicable in sequence; the whole
+// batch is validated against a simulated application before anything is
+// mutated, so a failed batch is a no-op — the graph and similarities are
+// exactly as before the call.
 func (e *Engine) ApplyBatch(ups []Update) error {
 	if len(ups) == 0 {
 		return nil
+	}
+	if err := e.validateBatch(ups); err != nil {
+		return err
 	}
 	denom := e.g.M()
 	if denom == 0 {
@@ -196,9 +202,6 @@ func (e *Engine) ApplyBatch(ups []Update) error {
 	}
 	if float64(len(ups)) >= e.opts.RecomputeThreshold*float64(denom) {
 		for _, up := range ups {
-			if up.Insert == e.g.HasEdge(up.Edge.From, up.Edge.To) {
-				return &core.ErrBadUpdate{Update: up, Reason: "not applicable in sequence"}
-			}
 			e.g.Apply(up)
 			if e.ws != nil {
 				e.ws.ApplyUpdate(up)
@@ -210,6 +213,40 @@ func (e *Engine) ApplyBatch(ups []Update) error {
 	for _, up := range ups {
 		if _, err := e.Apply(up); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// validateBatch checks that every update in ups applies cleanly when the
+// batch is folded in order, without touching the engine: an overlay map
+// simulates the pending edge insertions/deletions over the live graph.
+// The single-update case — the steady state of a low-traffic coalescing
+// pipeline, where every drain cycle holds one update — skips the overlay
+// so it stays allocation-free.
+func (e *Engine) validateBatch(ups []Update) error {
+	n := e.g.N()
+	var overlay map[Edge]bool
+	if len(ups) > 1 {
+		overlay = make(map[Edge]bool, len(ups))
+	}
+	for _, up := range ups {
+		if up.Edge.From < 0 || up.Edge.From >= n || up.Edge.To < 0 || up.Edge.To >= n {
+			return &core.ErrBadUpdate{Update: up, Reason: "node out of range"}
+		}
+		present, pending := overlay[up.Edge]
+		if !pending {
+			present = e.g.HasEdge(up.Edge.From, up.Edge.To)
+		}
+		if up.Insert == present {
+			reason := "edge absent"
+			if present {
+				reason = "edge already present"
+			}
+			return &core.ErrBadUpdate{Update: up, Reason: reason}
+		}
+		if overlay != nil {
+			overlay[up.Edge] = up.Insert
 		}
 	}
 	return nil
@@ -268,3 +305,11 @@ func SingleSourceScores(n int, edges []Edge, query int, opts Options) ([]float64
 
 // Options returns the engine's effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opts }
+
+// SetWorkers changes the batch-computation parallelism (see
+// Options.Workers). Unlike C, K and pruning — which are baked into the
+// similarity state — Workers is a pure runtime knob, so it is the one
+// option that may be changed after construction; snapshots do not
+// persist it, and restored engines default to GOMAXPROCS until told
+// otherwise.
+func (e *Engine) SetWorkers(workers int) { e.opts.Workers = workers }

@@ -163,6 +163,72 @@ func TestEngineApplyBatchBadSequence(t *testing.T) {
 	}
 }
 
+// TestEngineApplyBatchFailureIsAtomic is the regression test for the
+// partial-application bug: a batch whose later update is inapplicable must
+// leave the graph and similarity matrix exactly as they were, in both the
+// incremental and the recompute regime.
+func TestEngineApplyBatchFailureIsAtomic(t *testing.T) {
+	edges := []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 0}}
+	for _, tc := range []struct {
+		name      string
+		threshold float64 // forces the regime
+	}{
+		{"incremental", 10},
+		{"recompute", 0.01},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := mustEngine(t, 5, edges, Options{C: 0.6, K: 20, RecomputeThreshold: tc.threshold})
+			before := e.Similarities()
+			beforeM := e.M()
+			ups := []Update{
+				{Edge: Edge{From: 4, To: 0}, Insert: true},  // applicable
+				{Edge: Edge{From: 0, To: 2}, Insert: false}, // absent → must fail
+				{Edge: Edge{From: 4, To: 1}, Insert: true},
+			}
+			if err := e.ApplyBatch(ups); err == nil {
+				t.Fatal("want error for inapplicable batch")
+			}
+			if e.M() != beforeM {
+				t.Fatalf("failed batch mutated the graph: %d edges, want %d", e.M(), beforeM)
+			}
+			if e.HasEdge(4, 0) {
+				t.Fatal("failed batch left its first update applied")
+			}
+			if d := matrix.MaxAbsDiff(e.Similarities(), before); d != 0 {
+				t.Fatalf("failed batch perturbed similarities by %g", d)
+			}
+			// The engine stays fully usable after the rejected batch.
+			if err := e.ApplyBatch(ups[:1]); err != nil {
+				t.Fatalf("engine unusable after failed batch: %v", err)
+			}
+		})
+	}
+}
+
+// TestEngineApplyBatchSequenceReuse checks that validation simulates the
+// batch *in sequence*: deleting an edge and re-inserting it in the same
+// batch is legal, and inserting the same missing edge twice is not.
+func TestEngineApplyBatchSequenceReuse(t *testing.T) {
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}}, Options{RecomputeThreshold: 10})
+	ok := []Update{
+		{Edge: Edge{From: 0, To: 1}, Insert: false},
+		{Edge: Edge{From: 0, To: 1}, Insert: true},
+	}
+	if err := e.ApplyBatch(ok); err != nil {
+		t.Fatalf("delete+reinsert of same edge rejected: %v", err)
+	}
+	bad := []Update{
+		{Edge: Edge{From: 1, To: 2}, Insert: true},
+		{Edge: Edge{From: 1, To: 2}, Insert: true},
+	}
+	if err := e.ApplyBatch(bad); err == nil {
+		t.Fatal("double insert of same edge accepted")
+	}
+	if e.HasEdge(1, 2) {
+		t.Fatal("rejected batch mutated the graph")
+	}
+}
+
 func TestEngineApplyBatchEmpty(t *testing.T) {
 	e := mustEngine(t, 3, nil, Options{})
 	if err := e.ApplyBatch(nil); err != nil {

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	simrank "repro"
+	"repro/internal/core"
+)
+
+// maxBodyBytes bounds POST bodies; at ~30 bytes per wire update this
+// still admits six-figure batches in one request.
+const maxBodyBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// intParam parses a required (or defaulted) integer query parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		if def >= 0 {
+			return def, nil
+		}
+		return 0, errors.New("missing query parameter " + name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, errors.New("query parameter " + name + " is not an integer")
+	}
+	return v, nil
+}
+
+// GET /similarity?a=0&b=1 — one score, served under the read lock.
+func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	a, err := intParam(r, "a", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := intParam(r, "b", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkNode("a", a); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkNode("b", b); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimilarityResponse{A: a, B: b, Score: s.eng.Similarity(a, b)})
+}
+
+// maxTopK caps the k accepted by the top-k endpoints: metrics.TopKPairs
+// allocates a k-sized heap up front, so an unclamped client k would let
+// one GET request demand arbitrary memory.
+const maxTopK = 1 << 20
+
+func clampTopK(k, pairs int) int {
+	return min(k, pairs, maxTopK)
+}
+
+// GET /topk?k=10 — the k most similar pairs globally.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k", 10)
+	if err != nil || k < 1 {
+		writeError(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+		return
+	}
+	n := s.eng.N()
+	k = clampTopK(k, n*(n-1)/2)
+	writeJSON(w, http.StatusOK, TopKResponse{Pairs: toPairJSON(s.eng.TopK(k))})
+}
+
+// GET /topkfor?node=3&k=10 — the k nodes most similar to one node.
+func (s *Server) handleTopKFor(w http.ResponseWriter, r *http.Request) {
+	node, err := intParam(r, "node", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkNode("node", node); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil || k < 1 {
+		writeError(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+		return
+	}
+	k = clampTopK(k, s.eng.N())
+	writeJSON(w, http.StatusOK, TopKResponse{Pairs: toPairJSON(s.eng.TopKFor(node, k))})
+}
+
+// GET /stats — engine size plus the pipeline's coalescing counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// GET /healthz — liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// POST /updates[?wait=1] — enqueue one update or an array of them onto
+// the coalescing pipeline. Fire-and-forget answers 202 as soon as the
+// request is queued; wait mode blocks until the request's batch commits
+// and answers 200 (or 409 if the engine rejected the update, e.g. an
+// insert of an edge that already exists).
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	ups, err := decodeUpdates(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wait := false
+	if v := r.URL.Query().Get("wait"); v != "" && v != "0" && v != "false" {
+		wait = true
+	}
+	done, err := s.pipe.submit(ups, wait)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, UpdateResponse{Enqueued: len(ups)})
+		return
+	}
+	verdict := func(err error) {
+		if err != nil {
+			status := http.StatusInternalServerError
+			var bad *core.ErrBadUpdate
+			if errors.As(err, &bad) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, UpdateResponse{Applied: len(ups)})
+	}
+	select {
+	case err := <-done:
+		verdict(err)
+	case <-r.Context().Done():
+		// The client went away mid-wait. Prefer a verdict that already
+		// landed (the commit may have raced the cancellation); otherwise
+		// the write is still queued and WILL commit with its batch, so
+		// answer as an accepted async write — a 5xx here would invite a
+		// retry of a write that is about to land.
+		select {
+		case err := <-done:
+			verdict(err)
+		default:
+			writeJSON(w, http.StatusAccepted, UpdateResponse{Enqueued: len(ups)})
+		}
+	}
+}
+
+// POST /nodes {"count":2} — grow the graph by isolated nodes. This takes
+// the write lock directly (it is rare and O(n²) anyway). It is NOT
+// ordered relative to updates already queued in the pipeline: a
+// fire-and-forget update that references the new ids and was enqueued
+// before this call may still be rejected. The supported pattern is the
+// other direction — POST /nodes, then write to the returned ids.
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	var req NodesRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Count < 1 {
+		writeError(w, http.StatusBadRequest, errors.New("count must be positive"))
+		return
+	}
+	s.nodesMu.Lock()
+	defer s.nodesMu.Unlock()
+	if n := s.eng.N(); req.Count > s.cfg.MaxNodes-n {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("count %d would grow the graph past the %d-node limit (now %d); raise -max-nodes if intended", req.Count, s.cfg.MaxNodes, n))
+		return
+	}
+	first, err := s.eng.AddNodes(req.Count)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NodesResponse{First: first, Nodes: s.eng.N()})
+}
+
+// POST /snapshot — atomically persist the engine to the configured path,
+// under the read lock (queries keep flowing; only writers briefly wait).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SnapshotPath == "" {
+		writeError(w, http.StatusConflict, errors.New("no snapshot path configured (start with -snapshot)"))
+		return
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snapDone {
+		// Shutdown already wrote the final snapshot; a late on-demand
+		// write would overwrite it with (at best) the same state.
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down; final snapshot already written"))
+		return
+	}
+	if err := simrank.WriteSnapshotFile(s.eng, s.cfg.SnapshotPath); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Path: s.cfg.SnapshotPath})
+}

@@ -1,0 +1,232 @@
+// Package server exposes a simrank.ConcurrentEngine over HTTP/JSON:
+// lock-free query endpoints served off the engine's read lock, and a
+// write path that never takes the write lock per request — incoming
+// updates flow through an asynchronous coalescing pipeline that folds
+// everything queued into one ApplyBatch per drain cycle. Burst traffic
+// therefore pays one lock acquisition per cycle, and a large enough
+// burst crosses ApplyBatch's recompute threshold exactly as Exp-1 of the
+// paper prescribes (batch recomputation beats folding unit updates once
+// the batch is a sizable fraction of |E|).
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	simrank "repro"
+)
+
+// errPipelineClosed rejects writes submitted after shutdown began.
+var errPipelineClosed = errors.New("server: write pipeline closed")
+
+// writeReq is one client write: a group of updates that must commit
+// together, plus an optional completion-notify handle for synchronous
+// requests (done receives the commit error exactly once).
+type writeReq struct {
+	ups  []simrank.Update
+	done chan error // nil for fire-and-forget
+}
+
+// pipelineStats are the atomically-maintained counters surfaced by
+// GET /stats; batches counts ApplyBatch commits, so updatesApplied ≫
+// batches is the observable signature of coalescing at work.
+type pipelineStats struct {
+	enqueued      atomic.Int64
+	applied       atomic.Int64
+	rejected      atomic.Int64
+	batches       atomic.Int64
+	failedBatches atomic.Int64
+	maxBatch      atomic.Int64
+	depth         atomic.Int64
+}
+
+// pipeline is the coalescing write path. submit enqueues a request onto
+// a buffered channel and returns immediately; a single drain goroutine
+// takes the first queued request, greedily gathers everything else that
+// has arrived (up to maxBatch updates), and commits the lot through one
+// apply call. Because the drain goroutine is the only writer, the
+// engine's write lock is taken once per cycle no matter how many
+// requests coalesced into it.
+type pipeline struct {
+	apply    func([]simrank.Update) error
+	reqs     chan writeReq
+	maxBatch int
+	// window > 0 keeps a drain cycle open that long after its first
+	// request arrives, deepening coalescing at the cost of added write
+	// latency; 0 commits as soon as the engine is free.
+	window time.Duration
+
+	mu       sync.Mutex // guards closed against concurrent submit/close
+	closed   bool
+	inflight sync.WaitGroup // in-flight submits that passed the closed check
+	done     chan struct{}  // drain goroutine exited
+
+	stats pipelineStats
+}
+
+func newPipeline(apply func([]simrank.Update) error, queueSize, maxBatch int, window time.Duration) *pipeline {
+	if queueSize <= 0 {
+		queueSize = 1024
+	}
+	if maxBatch <= 0 {
+		maxBatch = 1 << 16
+	}
+	p := &pipeline{
+		apply:    apply,
+		reqs:     make(chan writeReq, queueSize),
+		maxBatch: maxBatch,
+		window:   window,
+		done:     make(chan struct{}),
+	}
+	go p.drain()
+	return p
+}
+
+// submit enqueues one write request. When wait is true the returned
+// channel receives the commit result after the request's batch has been
+// applied (and the engine's write lock released), so a subsequent read
+// is guaranteed to observe the update.
+func (p *pipeline) submit(ups []simrank.Update, wait bool) (<-chan error, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errPipelineClosed
+	}
+	p.inflight.Add(1)
+	p.mu.Unlock()
+	defer p.inflight.Done()
+
+	req := writeReq{ups: ups}
+	if wait {
+		req.done = make(chan error, 1)
+	}
+	p.stats.enqueued.Add(int64(len(ups)))
+	p.stats.depth.Add(int64(len(ups)))
+	p.reqs <- req
+	return req.done, nil
+}
+
+// close stops accepting writes, waits for the drain goroutine to commit
+// everything already queued, and returns. Safe to call once.
+func (p *pipeline) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.inflight.Wait() // every accepted submit has finished enqueueing
+	close(p.reqs)     // drain goroutine exits after the buffer empties
+	<-p.done
+}
+
+func (p *pipeline) drain() {
+	defer close(p.done)
+	for {
+		req, ok := <-p.reqs
+		if !ok {
+			return
+		}
+		cycle := []writeReq{req}
+		total := len(req.ups)
+		if p.window > 0 {
+			// Hold the cycle open for the batching window so a burst in
+			// flight coalesces even when the engine could keep up.
+			timer := time.NewTimer(p.window)
+		windowed:
+			for total < p.maxBatch {
+				select {
+				case r, ok := <-p.reqs:
+					if !ok {
+						break windowed
+					}
+					cycle = append(cycle, r)
+					total += len(r.ups)
+				case <-timer.C:
+					break windowed
+				}
+			}
+			timer.Stop()
+		}
+	coalesce:
+		for total < p.maxBatch {
+			select {
+			case r, ok := <-p.reqs:
+				if !ok {
+					break coalesce
+				}
+				cycle = append(cycle, r)
+				total += len(r.ups)
+			default:
+				break coalesce
+			}
+		}
+		p.commit(cycle, total)
+	}
+}
+
+// commit folds one drain cycle through a single apply call. ApplyBatch
+// is atomic (a failed batch mutates nothing), so when the coalesced
+// batch is rejected the cycle falls back to applying each request on its
+// own — one client's inapplicable update must not poison the writes that
+// merely shared a drain cycle with it — and every waiter learns its own
+// request's fate.
+func (p *pipeline) commit(cycle []writeReq, total int) {
+	defer p.stats.depth.Add(int64(-total))
+	var ups []simrank.Update
+	if len(cycle) == 1 {
+		ups = cycle[0].ups
+	} else {
+		ups = make([]simrank.Update, 0, total)
+		for _, r := range cycle {
+			ups = append(ups, r.ups...)
+		}
+	}
+	err := p.apply(ups)
+	if err == nil {
+		p.noteBatch(len(ups))
+		for _, r := range cycle {
+			notify(r.done, nil)
+		}
+		return
+	}
+	if len(cycle) == 1 {
+		p.stats.failedBatches.Add(1)
+		p.stats.rejected.Add(int64(len(ups)))
+		notify(cycle[0].done, err)
+		return
+	}
+	// Only terminal (post-fallback) failures count in the stats, so one
+	// bad update rejected once reads as one failure, not two.
+	for _, r := range cycle {
+		e := p.apply(r.ups)
+		if e == nil {
+			p.noteBatch(len(r.ups))
+		} else {
+			p.stats.failedBatches.Add(1)
+			p.stats.rejected.Add(int64(len(r.ups)))
+		}
+		notify(r.done, e)
+	}
+}
+
+func (p *pipeline) noteBatch(n int) {
+	p.stats.batches.Add(1)
+	p.stats.applied.Add(int64(n))
+	for {
+		cur := p.stats.maxBatch.Load()
+		if int64(n) <= cur || p.stats.maxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+func notify(done chan error, err error) {
+	if done != nil {
+		done <- err // buffered, never blocks
+	}
+}

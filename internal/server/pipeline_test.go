@@ -1,0 +1,247 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	simrank "repro"
+)
+
+func up(from, to int) simrank.Update {
+	return simrank.Update{Edge: simrank.Edge{From: from, To: to}, Insert: true}
+}
+
+// gatedApplier makes drain cycles deterministic with a two-step
+// handshake: every apply call first signals entered, then blocks until
+// the test sends on gate. Anything submitted between the entered signal
+// and the gate release is therefore guaranteed to queue behind the
+// in-flight commit and share the NEXT drain cycle.
+type gatedApplier struct {
+	mu      sync.Mutex
+	calls   [][]simrank.Update
+	entered chan struct{}
+	gate    chan struct{}
+	fail    func([]simrank.Update) error
+}
+
+func newGatedApplier() *gatedApplier {
+	return &gatedApplier{entered: make(chan struct{}), gate: make(chan struct{})}
+}
+
+func (g *gatedApplier) apply(ups []simrank.Update) error {
+	g.entered <- struct{}{}
+	<-g.gate
+	g.mu.Lock()
+	g.calls = append(g.calls, append([]simrank.Update(nil), ups...))
+	g.mu.Unlock()
+	if g.fail != nil {
+		return g.fail(ups)
+	}
+	return nil
+}
+
+func (g *gatedApplier) callSizes() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int, len(g.calls))
+	for i, c := range g.calls {
+		out[i] = len(c)
+	}
+	return out
+}
+
+func mustSubmit(t *testing.T, p *pipeline, ups []simrank.Update, wait bool) <-chan error {
+	t.Helper()
+	done, err := p.submit(ups, wait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return done
+}
+
+// TestPipelineCoalesces pins the core guarantee deterministically: four
+// requests submitted while the first commit is in flight fold into ONE
+// apply call (one write-lock acquisition for the whole burst).
+func TestPipelineCoalesces(t *testing.T) {
+	g := newGatedApplier()
+	p := newPipeline(g.apply, 16, 0, 0)
+	defer p.close()
+
+	mustSubmit(t, p, []simrank.Update{up(0, 1)}, false)
+	<-g.entered // cycle 1 = {(0,1)} is committing; queue is empty
+	for _, ups := range [][]simrank.Update{
+		{up(1, 2)}, {up(2, 3), up(3, 4)}, {up(4, 5), up(5, 6)},
+	} {
+		mustSubmit(t, p, ups, false)
+	}
+	done := mustSubmit(t, p, []simrank.Update{up(6, 7)}, true)
+	g.gate <- struct{}{} // cycle 1 commits
+	<-g.entered          // cycle 2 = everything queued above
+	g.gate <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	sizes := g.callSizes()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 6 {
+		t.Fatalf("apply call sizes = %v, want [1 6]", sizes)
+	}
+	if got := p.stats.batches.Load(); got != 2 {
+		t.Fatalf("batches = %d, want 2", got)
+	}
+	if got := p.stats.applied.Load(); got != 7 {
+		t.Fatalf("applied = %d, want 7", got)
+	}
+	if got := p.stats.maxBatch.Load(); got != 6 {
+		t.Fatalf("maxBatch = %d, want 6", got)
+	}
+	if got := p.stats.depth.Load(); got != 0 {
+		t.Fatalf("queue depth = %d after drain, want 0", got)
+	}
+}
+
+// TestPipelineMaxBatchCap verifies a drain cycle stops coalescing at
+// maxBatch updates: five queued singletons behind an in-flight commit
+// split into cycles of at most two.
+func TestPipelineMaxBatchCap(t *testing.T) {
+	g := newGatedApplier()
+	p := newPipeline(g.apply, 16, 2, 0)
+	defer p.close()
+
+	mustSubmit(t, p, []simrank.Update{up(0, 1)}, false)
+	<-g.entered
+	for i := 1; i <= 4; i++ {
+		mustSubmit(t, p, []simrank.Update{up(i, i+1)}, false)
+	}
+	done := mustSubmit(t, p, []simrank.Update{up(9, 10)}, true)
+	g.gate <- struct{}{} // cycle 1 = {1}
+	for i := 0; i < 3; i++ {
+		<-g.entered // cycles {2}, {2}, {1}
+		g.gate <- struct{}{}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	sizes := g.callSizes()
+	if len(sizes) != 4 {
+		t.Fatalf("apply calls = %v, want 4 cycles", sizes)
+	}
+	for _, n := range sizes {
+		if n > 2 {
+			t.Fatalf("a drain cycle coalesced %d updates, max is 2 (%v)", n, sizes)
+		}
+	}
+}
+
+// TestPipelineFailedBatchFallsBackPerRequest: when the coalesced batch
+// is rejected, each request is retried on its own, so one client's bad
+// update cannot poison writes that merely shared its drain cycle — and
+// each waiter receives its own verdict.
+func TestPipelineFailedBatchFallsBackPerRequest(t *testing.T) {
+	poison := errors.New("poisoned update")
+	g := newGatedApplier()
+	g.fail = func(ups []simrank.Update) error {
+		for _, u := range ups {
+			if u.Edge.From == 99 {
+				return poison
+			}
+		}
+		return nil
+	}
+	p := newPipeline(g.apply, 16, 0, 0)
+	defer p.close()
+
+	mustSubmit(t, p, []simrank.Update{up(0, 1)}, false)
+	<-g.entered
+	goodDone := mustSubmit(t, p, []simrank.Update{up(1, 2)}, true)
+	badDone := mustSubmit(t, p, []simrank.Update{up(99, 0)}, true)
+	g.gate <- struct{}{} // cycle 1 commits
+	<-g.entered          // cycle 2 = {good, bad}: coalesced apply fails
+	g.gate <- struct{}{}
+	<-g.entered // fallback apply of good alone
+	g.gate <- struct{}{}
+	<-g.entered // fallback apply of bad alone
+	g.gate <- struct{}{}
+	if err := <-goodDone; err != nil {
+		t.Fatalf("good request poisoned by cycle-mate: %v", err)
+	}
+	if err := <-badDone; !errors.Is(err, poison) {
+		t.Fatalf("bad request error = %v, want %v", err, poison)
+	}
+	if got := p.stats.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	if got := p.stats.applied.Load(); got != 2 {
+		t.Fatalf("applied = %d, want 2", got)
+	}
+	if got := p.stats.batches.Load(); got != 2 {
+		t.Fatalf("batches = %d, want 2 (cycle 1 + fallback good)", got)
+	}
+	// One logical rejection must read as ONE failure, not the coalesced
+	// attempt plus its fallback.
+	if got := p.stats.failedBatches.Load(); got != 1 {
+		t.Fatalf("failedBatches = %d, want 1", got)
+	}
+}
+
+// TestPipelineBatchWindow: with a batching window, requests arriving
+// while the cycle is held open coalesce even though the applier is
+// instantly available — the deterministic form of the burst behavior the
+// e2e suite observes over HTTP.
+func TestPipelineBatchWindow(t *testing.T) {
+	var mu sync.Mutex
+	var calls []int
+	p := newPipeline(func(ups []simrank.Update) error {
+		mu.Lock()
+		calls = append(calls, len(ups))
+		mu.Unlock()
+		return nil
+	}, 64, 0, 200*time.Millisecond)
+	defer p.close()
+
+	// All ten submits land well inside the first cycle's window.
+	for i := 0; i < 10; i++ {
+		mustSubmit(t, p, []simrank.Update{up(i, i+1)}, false)
+	}
+	done := mustSubmit(t, p, []simrank.Update{up(20, 21)}, true)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || calls[0] != 11 {
+		t.Fatalf("apply calls = %v, want one call of 11 updates", calls)
+	}
+}
+
+// TestPipelineCloseDrains: close must commit everything accepted before
+// returning, then reject later submits.
+func TestPipelineCloseDrains(t *testing.T) {
+	var mu sync.Mutex
+	applied := 0
+	p := newPipeline(func(ups []simrank.Update) error {
+		mu.Lock()
+		applied += len(ups)
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return nil
+	}, 64, 0, 0)
+
+	for i := 0; i < 32; i++ {
+		if _, err := p.submit([]simrank.Update{up(i, i+1)}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.close()
+	mu.Lock()
+	got := applied
+	mu.Unlock()
+	if got != 32 {
+		t.Fatalf("close dropped writes: %d applied, want 32", got)
+	}
+	if _, err := p.submit([]simrank.Update{up(0, 1)}, false); !errors.Is(err, errPipelineClosed) {
+		t.Fatalf("submit after close = %v, want errPipelineClosed", err)
+	}
+	p.close() // idempotent
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	simrank "repro"
+)
+
+// Config tunes a Server. The zero value is usable: no snapshot path
+// (snapshot endpoints disabled, nothing persisted at shutdown) and the
+// pipeline defaults.
+type Config struct {
+	// SnapshotPath, when non-empty, is where POST /snapshot and the final
+	// shutdown snapshot atomically persist the engine.
+	SnapshotPath string
+	// QueueSize bounds the write pipeline's buffered request queue
+	// (default 1024 requests).
+	QueueSize int
+	// MaxBatch caps how many updates one drain cycle coalesces ACROSS
+	// requests (default 65536). It is a soft cap: a single request's
+	// update array is never split (it must commit atomically), so one
+	// request larger than MaxBatch still commits whole. Bound individual
+	// request sizes at the client, or rely on the 8 MiB body limit.
+	MaxBatch int
+	// BatchWindow keeps each drain cycle open this long after its first
+	// update arrives, deepening coalescing at the cost of added write
+	// latency. 0 (the default) commits as soon as the engine is free.
+	BatchWindow time.Duration
+	// MaxNodes bounds the graph size POST /nodes may grow to. The
+	// similarity matrix is dense (n² float64s, 8n² bytes), so this is a
+	// memory-safety limit: one request asking for a huge count must not
+	// OOM the process. Default 16384 (a 2 GiB matrix); size to your RAM.
+	MaxNodes int
+}
+
+// defaultMaxNodes keeps the dense n×n similarity matrix at ≤ 2 GiB
+// unless the operator explicitly allows more.
+const defaultMaxNodes = 1 << 14
+
+// Server serves a simrank.ConcurrentEngine over HTTP/JSON. Reads go
+// straight to the engine under its read lock; writes go through the
+// coalescing pipeline. Create with New, install as an http.Handler, and
+// Close on shutdown to drain queued writes and persist a final snapshot.
+type Server struct {
+	eng   *simrank.ConcurrentEngine
+	pipe  *pipeline
+	mux   *http.ServeMux
+	cfg   Config
+	start time.Time
+
+	// nodesMu serializes POST /nodes so the MaxNodes bound is
+	// check-then-act safe: the engine's own lock only covers the growth,
+	// not the limit check against the current size.
+	nodesMu sync.Mutex
+
+	// snapMu serializes snapshot-file writes, and snapDone marks the
+	// final shutdown snapshot as written: without it, an on-demand
+	// POST /snapshot still in flight when Close runs could rename a
+	// pre-drain snapshot OVER the final one, losing acknowledged writes.
+	snapMu   sync.Mutex
+	snapDone bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Server over eng. The caller must not write to eng
+// directly afterwards — all mutations must flow through the server so
+// the pipeline's coalescing and shutdown guarantees hold.
+func New(eng *simrank.ConcurrentEngine, cfg Config) *Server {
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = defaultMaxNodes
+	}
+	s := &Server{
+		eng:   eng,
+		cfg:   cfg,
+		start: time.Now(),
+	}
+	s.pipe = newPipeline(eng.ApplyBatch, cfg.QueueSize, cfg.MaxBatch, cfg.BatchWindow)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /similarity", s.handleSimilarity)
+	s.mux.HandleFunc("GET /topk", s.handleTopK)
+	s.mux.HandleFunc("GET /topkfor", s.handleTopKFor)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /updates", s.handleUpdates)
+	s.mux.HandleFunc("POST /nodes", s.handleNodes)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	return s
+}
+
+// ServeHTTP makes Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close shuts the write path down gracefully: new writes are rejected,
+// the pipeline drains and commits everything already accepted, and —
+// when a snapshot path is configured — the final engine state is
+// persisted atomically. Idempotent; later calls return the first error.
+// Call after the HTTP listener has stopped accepting requests (e.g.
+// http.Server.Shutdown) so no accepted write is ever dropped.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.pipe.close()
+		s.snapMu.Lock()
+		defer s.snapMu.Unlock()
+		if s.cfg.SnapshotPath != "" {
+			s.closeErr = simrank.WriteSnapshotFile(s.eng, s.cfg.SnapshotPath)
+		}
+		s.snapDone = true
+	})
+	return s.closeErr
+}
+
+// Stats returns the current counters (also served as GET /stats).
+func (s *Server) Stats() StatsResponse {
+	st := &s.pipe.stats
+	n, m := s.eng.Size()
+	return StatsResponse{
+		Nodes:           n,
+		Edges:           m,
+		UpdatesEnqueued: st.enqueued.Load(),
+		UpdatesApplied:  st.applied.Load(),
+		UpdatesRejected: st.rejected.Load(),
+		Batches:         st.batches.Load(),
+		FailedBatches:   st.failedBatches.Load(),
+		MaxBatch:        st.maxBatch.Load(),
+		QueueDepth:      st.depth.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+	}
+}
+
+// checkNode validates a node id against the current graph size.
+func (s *Server) checkNode(name string, v int) error {
+	if n := s.eng.N(); v < 0 || v >= n {
+		return fmt.Errorf("%s=%d out of range [0,%d)", name, v, n)
+	}
+	return nil
+}

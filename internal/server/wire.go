@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	simrank "repro"
+)
+
+// UpdateJSON is the wire form of one link update. Op is "insert" or
+// "delete"; an empty Op means insert, so the minimal body
+// {"from":0,"to":1} inserts an edge.
+type UpdateJSON struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Op   string `json:"op,omitempty"`
+}
+
+// rawUpdate is the decode-side twin of UpdateJSON: pointer fields make
+// missing from/to detectable, so bodies like `null` or `{}` are rejected
+// instead of silently becoming an "insert edge 0→0".
+type rawUpdate struct {
+	From *int   `json:"from"`
+	To   *int   `json:"to"`
+	Op   string `json:"op"`
+}
+
+func (u rawUpdate) toUpdate() (simrank.Update, error) {
+	var up simrank.Update
+	if u.From == nil || u.To == nil {
+		return up, fmt.Errorf(`"from" and "to" are required`)
+	}
+	up.Edge = simrank.Edge{From: *u.From, To: *u.To}
+	switch u.Op {
+	case "", "insert", "+":
+		up.Insert = true
+	case "delete", "-":
+		up.Insert = false
+	default:
+		return up, fmt.Errorf(`op %q is not "insert" or "delete"`, u.Op)
+	}
+	return up, nil
+}
+
+// decodeUpdates accepts either a single update object or an array of
+// them — POST /updates treats both as one write request. The shape is
+// sniffed from the first non-whitespace byte so the body is parsed once.
+func decodeUpdates(body []byte) ([]simrank.Update, error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	var wire []rawUpdate
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(trimmed, &wire); err != nil {
+			return nil, err
+		}
+	} else {
+		var one rawUpdate
+		if err := json.Unmarshal(trimmed, &one); err != nil {
+			return nil, err
+		}
+		wire = []rawUpdate{one}
+	}
+	if len(wire) == 0 {
+		return nil, fmt.Errorf("empty update batch")
+	}
+	ups := make([]simrank.Update, len(wire))
+	for i, w := range wire {
+		up, err := w.toUpdate()
+		if err != nil {
+			return nil, fmt.Errorf("update %d: %w", i, err)
+		}
+		ups[i] = up
+	}
+	return ups, nil
+}
+
+// PairJSON is the wire form of a scored node-pair.
+type PairJSON struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Score float64 `json:"score"`
+}
+
+func toPairJSON(ps []simrank.Pair) []PairJSON {
+	out := make([]PairJSON, len(ps))
+	for i, p := range ps {
+		out[i] = PairJSON{A: p.A, B: p.B, Score: p.Score}
+	}
+	return out
+}
+
+// SimilarityResponse answers GET /similarity.
+type SimilarityResponse struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Score float64 `json:"score"`
+}
+
+// TopKResponse answers GET /topk and GET /topkfor.
+type TopKResponse struct {
+	Pairs []PairJSON `json:"pairs"`
+}
+
+// UpdateResponse answers POST /updates: Enqueued for fire-and-forget
+// (202), Applied once the request's batch has committed (200, wait mode).
+type UpdateResponse struct {
+	Enqueued int `json:"enqueued,omitempty"`
+	Applied  int `json:"applied,omitempty"`
+}
+
+// NodesRequest and NodesResponse serve POST /nodes.
+type NodesRequest struct {
+	Count int `json:"count"`
+}
+
+type NodesResponse struct {
+	First int `json:"first"`
+	Nodes int `json:"nodes"`
+}
+
+// SnapshotResponse answers POST /snapshot.
+type SnapshotResponse struct {
+	Path string `json:"path"`
+}
+
+// StatsResponse answers GET /stats. The pipeline counters make the write
+// coalescing observable: Batches is the number of ApplyBatch commits, so
+// UpdatesApplied/Batches is the realized coalescing factor.
+type StatsResponse struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+
+	UpdatesEnqueued int64 `json:"updates_enqueued"`
+	UpdatesApplied  int64 `json:"updates_applied"`
+	UpdatesRejected int64 `json:"updates_rejected"`
+	Batches         int64 `json:"batches"`
+	FailedBatches   int64 `json:"failed_batches"`
+	MaxBatch        int64 `json:"max_batch"`
+	QueueDepth      int64 `json:"queue_depth"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"repro/internal/graph"
 	"repro/internal/matrix"
@@ -82,6 +84,13 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 // of the snapshot — a restored engine rebuilds it lazily from the graph
 // on its first update or recompute. Options.Workers is a runtime knob and
 // is likewise not persisted; restored engines use the GOMAXPROCS default.
+//
+// ReadSnapshot is safe on hostile input: its allocations are bounded by
+// the bytes actually consumed, never by the header's claimed dimensions.
+// Edges and matrix entries are parsed into incrementally grown buffers,
+// and the O(n) graph structure is only built once the full payload has
+// arrived and its checksum verified — a 50-byte input claiming 2²⁴ nodes
+// fails with an error long before any n-sized allocation happens.
 func ReadSnapshot(r io.Reader) (*Engine, error) {
 	// The tee sits *above* the buffered reader so the CRC sees exactly
 	// the bytes the parser consumes — bufio read-ahead stays out of it.
@@ -116,33 +125,38 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 	if n > maxNodes || m > maxNodes*16 {
 		return nil, fmt.Errorf("simrank: snapshot dimensions implausible (n=%d m=%d)", n, m)
 	}
-	g := graph.New(int(n))
+	// Growth cap for the parse buffers: large initial capacities must be
+	// earned by input actually read, so a corrupt header can make the read
+	// fail but not balloon.
+	const chunk = 4096
+	edges := make([]graph.Edge, 0, min(int(m), chunk))
+	var pair [8]byte
 	for i := uint32(0); i < m; i++ {
-		var from, to uint32
-		if err := binary.Read(tee, binary.LittleEndian, &from); err != nil {
+		if _, err := io.ReadFull(tee, pair[:]); err != nil {
 			return nil, fmt.Errorf("simrank: snapshot edge %d: %w", i, err)
 		}
-		if err := binary.Read(tee, binary.LittleEndian, &to); err != nil {
-			return nil, fmt.Errorf("simrank: snapshot edge %d: %w", i, err)
-		}
+		from := binary.LittleEndian.Uint32(pair[:4])
+		to := binary.LittleEndian.Uint32(pair[4:])
 		if from >= n || to >= n {
 			return nil, fmt.Errorf("simrank: snapshot edge %d out of range", i)
 		}
-		if !g.AddEdge(int(from), int(to)) {
-			return nil, fmt.Errorf("simrank: snapshot duplicate edge %d→%d", from, to)
-		}
+		edges = append(edges, graph.Edge{From: int(from), To: int(to)})
 	}
-	s := matrix.NewDense(int(n), int(n))
-	buf := make([]byte, 8)
-	for i := range s.Data {
-		if _, err := io.ReadFull(tee, buf); err != nil {
+	total := int(n) * int(n)
+	vals := make([]float64, 0, min(total, chunk))
+	buf := make([]byte, 8*chunk)
+	for len(vals) < total {
+		want := min(total-len(vals), chunk)
+		if _, err := io.ReadFull(tee, buf[:8*want]); err != nil {
 			return nil, fmt.Errorf("simrank: snapshot matrix: %w", err)
 		}
-		v := math.Float64frombits(binary.LittleEndian.Uint64(buf))
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("simrank: snapshot matrix entry %d is %v", i, v)
+		for i := 0; i < want; i++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("simrank: snapshot matrix entry %d is %v", len(vals), v)
+			}
+			vals = append(vals, v)
 		}
-		s.Data[i] = v
 	}
 	want := crc.Sum32() // payload fully consumed; trailer not yet read
 	var got uint32
@@ -152,6 +166,63 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 	if got != want {
 		return nil, fmt.Errorf("simrank: snapshot checksum mismatch (corrupt or truncated)")
 	}
+	// Payload verified: now the O(n) structures are justified by the ≥ 8n²
+	// payload bytes that actually arrived.
+	g := graph.New(int(n))
+	for _, e := range edges {
+		if !g.AddEdge(e.From, e.To) {
+			return nil, fmt.Errorf("simrank: snapshot duplicate edge %d→%d", e.From, e.To)
+		}
+	}
+	s := &matrix.Dense{Rows: int(n), Cols: int(n), Data: vals}
 	opts := Options{C: c, K: int(k), DisablePruning: flags&flagNoPruning != 0}.withDefaults()
 	return &Engine{opts: opts, g: g, s: s}, nil
+}
+
+// SnapshotWriter is anything that can serialize itself in the snapshot
+// format; *Engine and *ConcurrentEngine both qualify.
+type SnapshotWriter interface {
+	WriteSnapshot(w io.Writer) error
+}
+
+// WriteSnapshotFile persists a snapshot to path atomically: the bytes go
+// to a temp file in the same directory, are synced, and the file is
+// renamed over path — a crash mid-write can never leave a torn snapshot
+// where a previous good one stood.
+func WriteSnapshotFile(src SnapshotWriter, path string) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("simrank: snapshot temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = src.WriteSnapshot(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("simrank: snapshot sync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("simrank: snapshot close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("simrank: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile restores an engine from a snapshot file written by
+// WriteSnapshotFile (or any WriteSnapshot output saved to disk).
+func ReadSnapshotFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
 }

@@ -45,6 +45,36 @@ func TestEngineApplyZeroAllocs(t *testing.T) {
 	}
 }
 
+// Single-update ApplyBatch — the steady state of the server's coalescing
+// pipeline at low traffic — shares the zero-allocation guarantee: the
+// up-front batch validation must not build its overlay map for one
+// update.
+func TestEngineApplyBatchSingleZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randTestGraph(rng, 40, 160)
+	// RecomputeThreshold ≥ 1 keeps a singleton batch on the incremental
+	// path regardless of |E|.
+	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10, RecomputeThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := g.Edges()[0]
+	del := []Update{{Edge: e0, Insert: false}}
+	ins := []Update{{Edge: e0, Insert: true}}
+	toggle := func() {
+		if err := eng.ApplyBatch(del); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.ApplyBatch(ins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	toggle() // warm up
+	if allocs := testing.AllocsPerRun(20, toggle); allocs != 0 {
+		t.Fatalf("warm single-update ApplyBatch allocated %v times per toggle, want 0", allocs)
+	}
+}
+
 // The unpruned path shares the same guarantee once its dense scratch is
 // warm.
 func TestEngineApplyZeroAllocsUnpruned(t *testing.T) {
