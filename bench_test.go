@@ -626,3 +626,97 @@ func BenchmarkSnapshotRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// --- Read-path query cache (ISSUE 3 tentpole) --------------------------------
+
+// benchReadEngine builds the read-path benchmark fixture: a 2000-node
+// preferential-attachment graph behind a ConcurrentEngine (the serving
+// shape), with or without the top-k query cache.
+func benchReadEngine(b *testing.B, cacheRows int) *ConcurrentEngine {
+	b.Helper()
+	g := gen.PrefAttach(2000, 3, 47)
+	eng, err := NewConcurrentEngine(g.N(), g.Edges(), Options{C: 0.6, K: 5, TopKCacheRows: cacheRows})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// benchReadNodes is the rotating query set of the read benchmarks.
+const benchReadNodes = 64
+
+// BenchmarkTopKForCached measures warm cached TopKFor on n = 2000: every
+// query after the warm-up is served from the per-row cache with zero
+// similarity-row scans (the sibling Uncached benchmark is the O(n) scan
+// it replaces; the quotient is the read-path speedup).
+func BenchmarkTopKForCached(b *testing.B) {
+	eng := benchReadEngine(b, 2048)
+	for a := 0; a < benchReadNodes; a++ {
+		eng.TopKFor(a, 10) // warm the cache
+	}
+	scansBefore := eng.CacheStats().RowMisses
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPairs = eng.TopKFor(i%benchReadNodes, 10)
+	}
+	b.StopTimer()
+	if scans := eng.CacheStats().RowMisses - scansBefore; scans != 0 {
+		b.Fatalf("warm cache performed %d row scans, want 0", scans)
+	}
+}
+
+// BenchmarkTopKForUncached is the same workload straight off the row
+// scan — the pre-cache read path.
+func BenchmarkTopKForUncached(b *testing.B) {
+	eng := benchReadEngine(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPairs = eng.TopKFor(i%benchReadNodes, 10)
+	}
+}
+
+// BenchmarkTopKForMixedReadHeavy interleaves one incremental write per
+// 1024 reads — the read-heavy serving mix the cache targets. Writes
+// invalidate only their dirty rows, so the cached variant keeps serving
+// the untouched majority from memory.
+func BenchmarkTopKForMixedReadHeavy(b *testing.B) {
+	for _, cacheRows := range []int{2048, 0} {
+		name := "cached"
+		if cacheRows == 0 {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := benchReadEngine(b, cacheRows)
+			// Toggle real edges of the base graph: delete then re-insert,
+			// so every write applies cleanly at any b.N.
+			edges := gen.PrefAttach(2000, 3, 47).Edges()[:4]
+			for a := 0; a < benchReadNodes; a++ {
+				eng.TopKFor(a, 10)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%1024 == 1023 {
+					w := i / 1024
+					e := edges[(w/2)%len(edges)]
+					var err error
+					if w%2 == 0 {
+						_, err = eng.Delete(e.From, e.To)
+					} else {
+						_, err = eng.Insert(e.From, e.To)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				sinkPairs = eng.TopKFor(i%benchReadNodes, 10)
+			}
+		})
+	}
+}
+
+// sinkPairs defeats dead-code elimination of the benchmarked queries.
+var sinkPairs []Pair

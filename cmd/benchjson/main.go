@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, one object per benchmark result line:
+//
+//	go test -run=^$ -bench=. -benchtime=1x ./... | benchjson > BENCH_topk.json
+//
+// Each object carries the benchmark name (GOMAXPROCS suffix stripped),
+// the iteration count, and every reported metric ("ns/op", "B/op",
+// "allocs/op", plus custom b.ReportMetric units) keyed by its unit. CI
+// uploads the result as an artifact so the repository's performance
+// trajectory is tracked per commit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go-test output, keeping benchmark result lines and the
+// "pkg:" headers that attribute them. Lines that don't parse as results
+// (test chatter, PASS/ok trailers) are skipped, so the tool can eat the
+// full `go test ./...` stream. Returns an empty (non-nil) slice when no
+// benchmarks ran.
+func parse(r io.Reader) ([]Result, error) {
+	results := []Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if res, ok := parseLine(line); ok {
+			res.Package = pkg
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one `BenchmarkName-P  N  v1 u1  v2 u2 ...` line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// Shortest valid line: name, runs, value, unit.
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || runs < 0 {
+		return Result{}, false
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	metrics := make(map[string]float64, len(rest)/2)
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		metrics[rest[i+1]] = v
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across runners.
+	if idx := strings.LastIndexByte(name, '-'); idx > 0 {
+		if _, err := strconv.Atoi(name[idx+1:]); err == nil {
+			name = name[:idx]
+		}
+	}
+	return Result{Name: name, Runs: runs, Metrics: metrics}, true
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTopKForCached-8         	 1000000	       309.0 ns/op	     227 B/op	       0 allocs/op
+BenchmarkTopKForMixedReadHeavy/cached-8 	  520770	       694.4 ns/op	     295 B/op	       2 allocs/op
+BenchmarkExp2Pruning/Inc-SR-8    	     100	    123456 ns/op	        12.50 affected-%
+PASS
+ok  	repro	5.513s
+?   	repro/cmd/simrankd	[no test files]
+--- FAIL: TestSomething
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	r := got[0]
+	if r.Name != "BenchmarkTopKForCached" || r.Package != "repro" || r.Runs != 1000000 {
+		t.Fatalf("result 0 = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 309 || r.Metrics["B/op"] != 227 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics 0 = %v", r.Metrics)
+	}
+	// Sub-benchmark names keep their /suffix but lose -GOMAXPROCS; the
+	// custom ReportMetric unit comes through keyed by its unit string.
+	if got[1].Name != "BenchmarkTopKForMixedReadHeavy/cached" {
+		t.Fatalf("result 1 name = %q", got[1].Name)
+	}
+	if got[2].Metrics["affected-%"] != 12.5 {
+		t.Fatalf("custom metric = %v", got[2].Metrics)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	got, err := parse(strings.NewReader("hello\nBenchmarkBroken-8 notanumber 3 ns/op\nBenchmarkOdd-8 10 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("garbage parsed as results: %+v", got)
+	}
+}
+
+func TestParseEmptyIsNonNil(t *testing.T) {
+	got, err := parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || len(got) != 0 {
+		t.Fatalf("want empty non-nil slice, got %#v", got)
+	}
+}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	simrankd -graph edges.txt [-addr :8080] [-snapshot state.simr]
-//	         [-c 0.6] [-k 15] [-no-prune] [-workers 0]
+//	         [-c 0.6] [-k 15] [-no-prune] [-workers 0] [-topk-cache 4096]
 //	simrankd -restore state.simr [-addr :8080] [-snapshot state.simr]
 //	simrankd -n 100                       # empty graph with 100 nodes
 //
@@ -53,6 +53,7 @@ func run() error {
 		k        = flag.Int("k", 15, "iteration count")
 		noPrune  = flag.Bool("no-prune", false, "use Inc-uSR (no pruning) for updates")
 		workers  = flag.Int("workers", 0, "batch-computation goroutines (0 = GOMAXPROCS)")
+		topkRows = flag.Int("topk-cache", 4096, "rows retained by the dirty-row top-k query cache (0 disables)")
 		queue    = flag.Int("queue", 1024, "write-pipeline queue size (requests)")
 		maxBatch = flag.Int("max-batch", 1<<16, "max updates coalesced per drain cycle")
 		window   = flag.Duration("batch-window", 0, "hold each drain cycle open this long to deepen write coalescing (0 = commit immediately)")
@@ -86,6 +87,9 @@ func run() error {
 	if *restore != "" && *workers != 0 {
 		eng.SetWorkers(*workers)
 	}
+	// The cache is a runtime knob (never persisted), so it is applied the
+	// same way on every boot path, including -restore.
+	eng.SetTopKCacheRows(*topkRows)
 	fmt.Printf("simrankd: engine ready (%d nodes, %d edges)\n", eng.N(), eng.M())
 
 	srv := server.New(eng, server.Config{

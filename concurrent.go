@@ -83,25 +83,36 @@ func (c *ConcurrentEngine) HasEdge(i, j int) bool {
 	return c.eng.HasEdge(i, j)
 }
 
+// detachStats copies the workspace-aliasing DirtyRows out of st. The
+// plain Engine documents the slice as valid until the caller's next
+// update — a usable contract single-threaded, but meaningless once the
+// write lock is released: another writer can rewrite the backing scratch
+// before this caller even looks at it. The concurrent facade therefore
+// always hands out an independent copy.
+func detachStats(st UpdateStats, err error) (UpdateStats, error) {
+	st.DirtyRows = append([]int(nil), st.DirtyRows...)
+	return st, err
+}
+
 // Insert adds an edge under the write lock.
 func (c *ConcurrentEngine) Insert(i, j int) (UpdateStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.eng.Insert(i, j)
+	return detachStats(c.eng.Insert(i, j))
 }
 
 // Delete removes an edge under the write lock.
 func (c *ConcurrentEngine) Delete(i, j int) (UpdateStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.eng.Delete(i, j)
+	return detachStats(c.eng.Delete(i, j))
 }
 
 // Apply performs one unit update under the write lock.
 func (c *ConcurrentEngine) Apply(up Update) (UpdateStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.eng.Apply(up)
+	return detachStats(c.eng.Apply(up))
 }
 
 // ApplyBatch folds a batch of updates under one write-lock acquisition.
@@ -147,6 +158,26 @@ func (c *ConcurrentEngine) SetWorkers(workers int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.eng.SetWorkers(workers)
+}
+
+// CacheStats returns the query cache's counters under a read lock; see
+// Engine.CacheStats.
+func (c *ConcurrentEngine) CacheStats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.CacheStats()
+}
+
+// SetTopKCacheRows resizes, enables or disables the query cache under
+// the write lock; see Engine.SetTopKCacheRows. Cache reads stay correct
+// under the RWMutex because every invalidation (like this reset) happens
+// while the write lock excludes all readers; concurrent readers filling
+// the cache under the shared read lock are serialized by the cache's own
+// internal mutex.
+func (c *ConcurrentEngine) SetTopKCacheRows(rows int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eng.SetTopKCacheRows(rows)
 }
 
 // WriteSnapshot serializes the engine under a read lock, so a snapshot

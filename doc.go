@@ -49,4 +49,17 @@
 // synchronous completion (?wait=1) and an atomic snapshot/restore
 // lifecycle (WriteSnapshotFile, the -snapshot and -restore flags). See
 // the README's "Serving" section for the endpoint table and semantics.
+//
+// # Query caching
+//
+// The read path scales through a dirty-row top-k cache
+// (Options.TopKCacheRows, internal/cache, simrankd's -topk-cache flag):
+// per-row TopKFor results and the global TopK are retained LRU-bounded
+// and invalidated per update using exactly the affected rows the
+// incremental core reports (UpdateStats.DirtyRows — the pruning
+// machinery's "affected area", repurposed as an invalidation signal).
+// Cached answers are bit-identical to fresh scans; CacheStats exposes
+// hit/miss/invalidation counters, also served in GET /stats. Queries
+// themselves never panic: out-of-range nodes and non-positive k yield
+// zero results. See the README's "Query caching" subsection.
 package simrank

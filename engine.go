@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/batch"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/matrix"
@@ -48,6 +49,15 @@ type Options struct {
 	// result is bit-identical for every value — the serial and parallel
 	// paths share one row-partitioned kernel. Not persisted in snapshots.
 	Workers int
+	// TopKCacheRows enables the read-path query cache: up to this many
+	// per-row TopKFor results (plus one global TopK result) are retained,
+	// LRU-evicted, and invalidated only for the rows each incremental
+	// update actually wrote (core.Stats.DirtyRows) — wholesale on
+	// Recompute and AddNodes. Cached answers are bit-identical to fresh
+	// scans. ≤ 0 (the default) disables caching. Like Workers this is a
+	// pure runtime knob: not persisted in snapshots, changeable after
+	// construction via SetTopKCacheRows.
+	TopKCacheRows int
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +95,11 @@ type Engine struct {
 	// Apply allocates nothing. Built lazily (nil after ReadSnapshot and
 	// after AddNodes) and kept in lock-step with g by every mutation.
 	ws *core.Workspace
+	// cache is the dirty-row-invalidated top-k query cache, nil when
+	// disabled (Options.TopKCacheRows ≤ 0). Every mutation path must
+	// invalidate it before returning: Apply by the update's dirty rows,
+	// Recompute and AddNodes wholesale.
+	cache *cache.TopK
 	// lastStats records the most recent incremental update's work.
 	lastStats UpdateStats
 }
@@ -107,6 +122,7 @@ func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 	// Recompute should not retain a second n×n buffer for their lifetime
 	// (the workspace allocates its own lazily on the first Recompute).
 	batch.MatrixFormInto(e.s, matrix.NewDense(n, n), e.workspace().TransitionCSR(), opts.C, opts.K, opts.Workers)
+	e.SetTopKCacheRows(opts.TopKCacheRows)
 	return e, nil
 }
 
@@ -125,23 +141,69 @@ func (e *Engine) N() int { return e.g.N() }
 // M returns the number of edges.
 func (e *Engine) M() int { return e.g.M() }
 
-// HasEdge reports whether edge (i, j) is present.
-func (e *Engine) HasEdge(i, j int) bool { return e.g.HasEdge(i, j) }
+// HasEdge reports whether edge (i, j) is present; out-of-range nodes
+// have no edges, so the answer is false rather than a panic.
+func (e *Engine) HasEdge(i, j int) bool {
+	if !e.validNode(i) || !e.validNode(j) {
+		return false
+	}
+	return e.g.HasEdge(i, j)
+}
 
-// Similarity returns the current SimRank score s(a, b).
-func (e *Engine) Similarity(a, b int) float64 { return e.s.At(a, b) }
+// validNode reports whether v names a node of the current graph. Every
+// query validates through this: queries never panic — an out-of-range
+// node yields the zero result (score 0, empty top-k), matching a node
+// the graph has never related to anything.
+func (e *Engine) validNode(v int) bool { return v >= 0 && v < e.g.N() }
+
+// Similarity returns the current SimRank score s(a, b), or 0 when either
+// node is out of range.
+func (e *Engine) Similarity(a, b int) float64 {
+	if !e.validNode(a) || !e.validNode(b) {
+		return 0
+	}
+	return e.s.At(a, b)
+}
 
 // Similarities returns the full similarity matrix. The returned matrix is
 // a snapshot copy; mutating it does not affect the engine.
 func (e *Engine) Similarities() *matrix.Dense { return e.s.Clone() }
 
-// TopK returns the k most similar distinct node-pairs.
-func (e *Engine) TopK(k int) []Pair { return metrics.TopKPairs(e.s, k) }
+// TopK returns the k most similar distinct node-pairs (nil when k ≤ 0).
+// With the query cache enabled, a repeat of a warm k is served without
+// rescanning the n²/2 pairs; the answer is bit-identical either way.
+func (e *Engine) TopK(k int) []Pair {
+	if k <= 0 {
+		return nil
+	}
+	if e.cache != nil {
+		if ps, ok := e.cache.GetGlobal(k); ok {
+			return ps
+		}
+		ps := metrics.TopKPairs(e.s, k)
+		e.cache.PutGlobal(k, ps)
+		return metrics.ClonePairs(ps)
+	}
+	return metrics.TopKPairs(e.s, k)
+}
 
 // TopKFor returns up to k nodes most similar to node a, highest first
-// (ties by node id ascending). A bounded min-heap keeps the row scan at
-// O(n·log k) instead of sorting every scored neighbor.
+// (ties by node id ascending), or nil when a is out of range or k ≤ 0.
+// A bounded min-heap keeps the row scan at O(n·log k) instead of sorting
+// every scored neighbor; with the query cache enabled a warm row skips
+// the scan entirely until an update dirties it.
 func (e *Engine) TopKFor(a, k int) []Pair {
+	if !e.validNode(a) || k <= 0 {
+		return nil
+	}
+	if e.cache != nil {
+		if ps, ok := e.cache.GetRow(a, k); ok {
+			return ps
+		}
+		ps := metrics.TopKRow(e.s.Row(a), a, k)
+		e.cache.PutRow(a, k, ps)
+		return metrics.ClonePairs(ps)
+	}
 	return metrics.TopKRow(e.s.Row(a), a, k)
 }
 
@@ -160,6 +222,11 @@ func (e *Engine) Delete(i, j int) (UpdateStats, error) {
 // path: the persistent workspace supplies the transposed transition
 // matrix (maintained in O(d) per update, never rebuilt) and every scratch
 // buffer the algorithms need.
+//
+// The returned UpdateStats.DirtyRows aliases workspace scratch: it is
+// valid until this engine's next update (copy it to retain) — which is a
+// usable window only single-threaded, so ConcurrentEngine's wrappers
+// return a detached copy instead.
 func (e *Engine) Apply(up Update) (UpdateStats, error) {
 	// The workspace variants never mutate S before their last error check,
 	// so a failed update leaves the engine untouched.
@@ -178,6 +245,13 @@ func (e *Engine) Apply(up Update) (UpdateStats, error) {
 	}
 	e.g.Apply(up)
 	ws.ApplyUpdate(up)
+	if e.cache != nil {
+		// Surgical invalidation: only the rows this update wrote lose
+		// their cached top-k; everything else keeps serving. In the
+		// concurrent facade this runs inside the write lock, so readers
+		// can never see a cached result older than a committed write.
+		e.cache.InvalidateRows(st.DirtyRows)
+	}
 	e.lastStats = st
 	return st, nil
 }
@@ -274,6 +348,12 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 	// The workspace is sized for the old n; rebuild it lazily at the new
 	// size on the next update.
 	e.ws = nil
+	if e.cache != nil {
+		// Wholesale: the cached slices were computed over the old matrix.
+		// (The padded rows are value-identical, but a flush is the simple
+		// invariant every resize shares.)
+		e.cache.Flush()
+	}
 	return first, nil
 }
 
@@ -286,9 +366,14 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 func (e *Engine) Recompute() {
 	ws := e.workspace()
 	batch.MatrixFormInto(e.s, ws.DenseScratch(), ws.TransitionCSR(), e.opts.C, e.opts.K, e.opts.Workers)
+	if e.cache != nil {
+		e.cache.Flush() // every entry may have moved
+	}
 }
 
-// LastStats returns the statistics of the most recent incremental update.
+// LastStats returns the statistics of the most recent incremental
+// update. Its DirtyRows carries Apply's aliasing caveat: stale (and
+// possibly rewritten) once a newer update has run.
 func (e *Engine) LastStats() UpdateStats { return e.lastStats }
 
 // SingleSourceScores computes s(query, ·) for a graph directly, without
@@ -313,3 +398,29 @@ func (e *Engine) Options() Options { return e.opts }
 // persist it, and restored engines default to GOMAXPROCS until told
 // otherwise.
 func (e *Engine) SetWorkers(workers int) { e.opts.Workers = workers }
+
+// CacheStats is the query cache's counter snapshot; see cache.Stats.
+type CacheStats = cache.Stats
+
+// CacheStats returns the query cache's counters (all zero when the cache
+// is disabled). RowMisses counts actual similarity-row scans, so a warm
+// cache is doing zero scan work exactly while RowMisses holds still.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// SetTopKCacheRows resizes (or enables/disables, with rows ≤ 0) the
+// query cache. Like SetWorkers this is the runtime-knob escape hatch for
+// restored snapshots, which default to no cache; the new cache starts
+// cold with fresh counters.
+func (e *Engine) SetTopKCacheRows(rows int) {
+	e.opts.TopKCacheRows = rows
+	if rows > 0 {
+		e.cache = cache.New(rows)
+	} else {
+		e.cache = nil
+	}
+}

@@ -1,0 +1,194 @@
+// Package cache implements the read-path query cache of the engine: a
+// bounded, LRU-evicted cache of per-row top-k results plus one cached
+// global top-k, invalidated by the incremental core's dirty-row signal
+// (core.Stats.DirtyRows — the rows Inc-SR's "affected area" actually
+// wrote) instead of being flushed on every write. On a read-heavy
+// workload this turns the O(n) row scan of TopKFor — and the O(n²) pair
+// scan of TopK — into a map lookup for every row no recent update
+// touched.
+//
+// Correctness contract: callers must invalidate while holding whatever
+// lock serializes writes to the similarity matrix (the engine does so
+// inside its write lock), so a reader can never observe a cached result
+// that predates a committed write. The cache itself carries a mutex only
+// to serialize concurrent readers filling or touching entries under a
+// shared read lock.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// globalRow keys the cached global top-k; real rows are ≥ 0.
+const globalRow = -1
+
+// entry is one cached result: the pairs computed for row (or the global
+// scan) at request size k. When len(pairs) < k the scan was exhaustive —
+// every non-zero candidate is present — so the entry can serve any
+// request size.
+type entry struct {
+	row   int
+	k     int
+	pairs []metrics.Pair
+}
+
+// Stats are the cache's monotonic counters (plus the current size).
+// Misses count actual similarity scans: a warm cache serving a row does
+// zero row scans exactly when RowMisses stops advancing.
+type Stats struct {
+	RowHits, RowMisses       int64
+	GlobalHits, GlobalMisses int64
+	// InvalidatedRows counts row entries dropped by dirty-row
+	// invalidation; Flushes counts wholesale resets (recompute, node
+	// growth, snapshot restore); Evictions counts LRU capacity drops.
+	InvalidatedRows int64
+	Flushes         int64
+	Evictions       int64
+	// Rows is the number of per-row entries currently cached.
+	Rows int
+}
+
+// TopK is the cache. Create with New; the zero value is not usable.
+type TopK struct {
+	mu      sync.Mutex
+	maxRows int
+	rows    map[int]*list.Element // row id → element holding *entry
+	lru     *list.List            // front = most recently used
+	global  *entry                // nil when not cached
+	stats   Stats
+}
+
+// New builds a cache retaining up to maxRows per-row results (plus the
+// one global result, which does not count toward the bound). maxRows
+// must be positive.
+func New(maxRows int) *TopK {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	return &TopK{
+		maxRows: maxRows,
+		rows:    make(map[int]*list.Element, maxRows),
+		lru:     list.New(),
+	}
+}
+
+// servable reports whether an entry computed at size e.k answers a
+// request for k pairs: either the request is no larger, or the stored
+// scan was exhaustive.
+func servable(e *entry, k int) bool {
+	return k <= e.k || len(e.pairs) < e.k
+}
+
+// take returns a defensive copy of the first min(k, len(pairs)) cached
+// pairs — callers own their result slices and must not be able to
+// corrupt the cache by mutating them.
+func take(e *entry, k int) []metrics.Pair {
+	if k > len(e.pairs) {
+		k = len(e.pairs)
+	}
+	out := make([]metrics.Pair, k)
+	copy(out, e.pairs[:k])
+	return out
+}
+
+// GetRow returns the cached top-k of row, if a servable entry exists,
+// touching it in the LRU order. The returned slice is the caller's own.
+func (c *TopK) GetRow(row, k int) ([]metrics.Pair, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.rows[row]
+	if ok {
+		if e := el.Value.(*entry); servable(e, k) {
+			c.lru.MoveToFront(el)
+			c.stats.RowHits++
+			return take(e, k), true
+		}
+	}
+	c.stats.RowMisses++
+	return nil, false
+}
+
+// PutRow stores the result of a fresh row scan at request size k, taking
+// ownership of pairs. An existing entry for the row is replaced; the
+// least recently used row is evicted past the capacity bound.
+func (c *TopK) PutRow(row, k int, pairs []metrics.Pair) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.rows[row]; ok {
+		e := el.Value.(*entry)
+		e.k, e.pairs = k, pairs
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.rows[row] = c.lru.PushFront(&entry{row: row, k: k, pairs: pairs})
+	if c.lru.Len() > c.maxRows {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.rows, oldest.Value.(*entry).row)
+		c.stats.Evictions++
+	}
+}
+
+// GetGlobal returns the cached global top-k, if servable.
+func (c *TopK) GetGlobal(k int) ([]metrics.Pair, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.global != nil && servable(c.global, k) {
+		c.stats.GlobalHits++
+		return take(c.global, k), true
+	}
+	c.stats.GlobalMisses++
+	return nil, false
+}
+
+// PutGlobal stores the result of a fresh global scan at request size k,
+// taking ownership of pairs.
+func (c *TopK) PutGlobal(k int, pairs []metrics.Pair) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.global = &entry{row: globalRow, k: k, pairs: pairs}
+}
+
+// InvalidateRows drops the entries for exactly the given rows (the
+// update's dirty set) and, when any row is dirty, the global result —
+// any changed row can reorder the global ranking. Rows without a cached
+// entry are no-ops, and an empty dirty set (an update whose every delta
+// pruned to zero) keeps the whole cache.
+func (c *TopK) InvalidateRows(rows []int) {
+	if len(rows) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.global = nil
+	for _, row := range rows {
+		if el, ok := c.rows[row]; ok {
+			c.lru.Remove(el)
+			delete(c.rows, row)
+			c.stats.InvalidatedRows++
+		}
+	}
+}
+
+// Flush drops everything: the wholesale invalidation for recompute, node
+// growth, and snapshot restore, where every row may have moved.
+func (c *TopK) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.global = nil
+	clear(c.rows)
+	c.lru.Init()
+	c.stats.Flushes++
+}
+
+// Stats returns a point-in-time copy of the counters.
+func (c *TopK) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Rows = len(c.rows)
+	return st
+}

@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func pairs(row int, scores ...float64) []metrics.Pair {
+	out := make([]metrics.Pair, len(scores))
+	for i, s := range scores {
+		out[i] = metrics.Pair{A: row, B: i + 100, Score: s}
+	}
+	return out
+}
+
+func TestRowHitMissAndPrefix(t *testing.T) {
+	c := New(8)
+	if _, ok := c.GetRow(3, 5); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.PutRow(3, 5, pairs(3, .9, .8, .7, .6, .5))
+
+	got, ok := c.GetRow(3, 5)
+	if !ok || len(got) != 5 {
+		t.Fatalf("GetRow(3,5) = %v, %v; want full hit", got, ok)
+	}
+	// Smaller k is a prefix of the same deterministic ordering.
+	got, ok = c.GetRow(3, 2)
+	if !ok || len(got) != 2 || got[1].Score != .8 {
+		t.Fatalf("GetRow(3,2) = %v, %v; want 2-prefix hit", got, ok)
+	}
+	// Larger k cannot be served by a non-exhaustive entry.
+	if _, ok := c.GetRow(3, 6); ok {
+		t.Fatal("k=6 served from a k=5 entry with 5 pairs")
+	}
+	st := c.Stats()
+	if st.RowHits != 2 || st.RowMisses != 2 {
+		t.Fatalf("stats = %+v; want 2 hits, 2 misses", st)
+	}
+}
+
+func TestExhaustedEntryServesAnyK(t *testing.T) {
+	c := New(8)
+	// 3 pairs for a k=10 request: the row has only 3 non-zero candidates.
+	c.PutRow(1, 10, pairs(1, .3, .2, .1))
+	got, ok := c.GetRow(1, 1000)
+	if !ok || len(got) != 3 {
+		t.Fatalf("exhausted entry did not serve larger k: %v, %v", got, ok)
+	}
+}
+
+func TestHitReturnsACopy(t *testing.T) {
+	c := New(4)
+	c.PutRow(0, 2, pairs(0, .5, .4))
+	got, _ := c.GetRow(0, 2)
+	got[0].Score = -1
+	again, _ := c.GetRow(0, 2)
+	if again[0].Score != .5 {
+		t.Fatal("mutating a returned slice corrupted the cached entry")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.PutRow(0, 1, pairs(0, .1))
+	c.PutRow(1, 1, pairs(1, .1))
+	c.GetRow(0, 1) // touch 0 so 1 is the LRU victim
+	c.PutRow(2, 1, pairs(2, .1))
+	if _, ok := c.GetRow(1, 1); ok {
+		t.Fatal("LRU row 1 survived eviction")
+	}
+	if _, ok := c.GetRow(0, 1); !ok {
+		t.Fatal("recently-used row 0 was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Rows != 2 {
+		t.Fatalf("stats = %+v; want 1 eviction, 2 rows", st)
+	}
+}
+
+func TestInvalidateRowsIsSurgical(t *testing.T) {
+	c := New(8)
+	for r := 0; r < 4; r++ {
+		c.PutRow(r, 1, pairs(r, .1))
+	}
+	c.PutGlobal(3, pairs(99, .9, .8, .7))
+	c.InvalidateRows([]int{1, 3, 7}) // 7 is not cached: a no-op
+
+	for _, tc := range []struct {
+		row  int
+		want bool
+	}{{0, true}, {1, false}, {2, true}, {3, false}} {
+		if _, ok := c.GetRow(tc.row, 1); ok != tc.want {
+			t.Fatalf("after invalidation row %d cached=%v, want %v", tc.row, ok, tc.want)
+		}
+	}
+	if _, ok := c.GetGlobal(3); ok {
+		t.Fatal("global survived a non-empty dirty set")
+	}
+	if st := c.Stats(); st.InvalidatedRows != 2 {
+		t.Fatalf("InvalidatedRows = %d, want 2", st.InvalidatedRows)
+	}
+
+	// An empty dirty set keeps everything (no similarity bits changed).
+	c.PutGlobal(1, pairs(99, .9))
+	c.InvalidateRows(nil)
+	if _, ok := c.GetGlobal(1); !ok {
+		t.Fatal("empty dirty set dropped the global entry")
+	}
+}
+
+func TestFlushDropsEverything(t *testing.T) {
+	c := New(8)
+	c.PutRow(0, 1, pairs(0, .1))
+	c.PutGlobal(1, pairs(9, .9))
+	c.Flush()
+	if _, ok := c.GetRow(0, 1); ok {
+		t.Fatal("row survived Flush")
+	}
+	if _, ok := c.GetGlobal(1); ok {
+		t.Fatal("global survived Flush")
+	}
+	if st := c.Stats(); st.Flushes != 1 || st.Rows != 0 {
+		t.Fatalf("stats = %+v; want 1 flush, 0 rows", st)
+	}
+}
+
+func TestGlobalReplaceAndUpgrade(t *testing.T) {
+	c := New(2)
+	c.PutGlobal(2, pairs(9, .9, .8))
+	if _, ok := c.GetGlobal(5); ok {
+		t.Fatal("k=5 served from full k=2 global entry")
+	}
+	c.PutGlobal(5, pairs(9, .9, .8, .7, .6, .5))
+	got, ok := c.GetGlobal(2)
+	if !ok || len(got) != 2 {
+		t.Fatalf("upgraded global entry does not serve k=2: %v, %v", got, ok)
+	}
+}
+
+// Concurrent readers filling and touching entries while a writer
+// invalidates must be race-free (run under -race in CI).
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				row := (seed + i) % 32
+				if _, ok := c.GetRow(row, 3); !ok {
+					c.PutRow(row, 3, pairs(row, .3, .2, .1))
+				}
+				if _, ok := c.GetGlobal(3); !ok {
+					c.PutGlobal(3, pairs(99, .3, .2, .1))
+				}
+			}
+		}(w * 7)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			c.InvalidateRows([]int{i % 32, (i + 5) % 32})
+			if i%100 == 0 {
+				c.Flush()
+			}
+		}
+	}()
+	wg.Wait()
+	st := c.Stats()
+	if st.RowHits+st.RowMisses == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestNewClampsCapacity(t *testing.T) {
+	c := New(0)
+	c.PutRow(0, 1, pairs(0, .1))
+	c.PutRow(1, 1, pairs(1, .1))
+	if st := c.Stats(); st.Rows != 1 {
+		t.Fatalf("capacity clamp failed: %d rows cached", st.Rows)
+	}
+}
+
+func ExampleTopK() {
+	c := New(1024)
+	c.PutRow(7, 2, []metrics.Pair{{A: 7, B: 3, Score: 0.41}, {A: 7, B: 9, Score: 0.12}})
+	top, _ := c.GetRow(7, 1)
+	fmt.Println(top[0].B)
+	// Output: 3
+}

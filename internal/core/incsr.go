@@ -50,6 +50,7 @@ func (ws *Workspace) IncSR(s *matrix.Dense, up graph.Update, c float64, k int) (
 		return Stats{}, err
 	}
 	ws.ensureIncSR()
+	ws.resetDirty()
 	i, j := up.Edge.From, up.Edge.To
 	dj := ws.din[j]
 
@@ -184,6 +185,10 @@ func (ws *Workspace) IncSR(s *matrix.Dense, up graph.Update, c float64, k int) (
 			s.Data[b*n+a] += v
 			touched.set(a, b)
 			touched.set(b, a)
+			// The write landed in rows a (entry b) and b (entry a): both
+			// become invalidation targets for row-level caches.
+			ws.markDirty(a)
+			ws.markDirty(b)
 		}
 		ws.mRows[a] = nil
 		ws.rowPool = append(ws.rowPool, mrow)
@@ -200,6 +205,7 @@ func (ws *Workspace) IncSR(s *matrix.Dense, up graph.Update, c float64, k int) (
 		// M's pooled rows, the workspace vectors, the touched-pair bitset
 		// (1/64 float per pair each), and the B₀/w/γ memos.
 		AuxFloats: len(ws.rowSupp)*n + peakAux + len(touched.words) + w.nnz() + b0.nnz(),
+		DirtyRows: ws.dirtyRows,
 	}
 
 	// Reset every transient so the next update starts clean; each reset is

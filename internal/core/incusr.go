@@ -22,6 +22,15 @@ type Stats struct {
 	// (Fig. 3's "intermediate space": auxiliary vectors plus M, excluding
 	// the n² similarity output itself).
 	AuxFloats int
+	// DirtyRows lists the rows of S the update wrote, unsorted — a
+	// superset of the rows whose bits actually changed (an accumulation
+	// can round to a no-op) and exactly the invalidation set a per-row
+	// query cache needs. This is the data already tracked for
+	// AffectedPairs, exposed instead of discarded; Inc-SR reports the
+	// pruned support, Inc-uSR every row with a non-zero delta. The slice
+	// aliases workspace scratch: it is valid only until the next update
+	// through the same Workspace (copy it to retain).
+	DirtyRows []int
 }
 
 // lambda computes the scalar λ of Eq. (29):
@@ -107,6 +116,7 @@ func (ws *Workspace) IncUSR(s *matrix.Dense, up graph.Update, c float64, k int) 
 		return Stats{}, err
 	}
 	ws.ensureDense()
+	ws.resetDirty()
 	i, j := up.Edge.From, up.Edge.To
 	dj := ws.din[j]
 
@@ -159,12 +169,22 @@ func (ws *Workspace) IncUSR(s *matrix.Dense, up graph.Update, c float64, k int) 
 	for a := 0; a < n; a++ {
 		mrow := m.Row(a)
 		orow := s.Row(a)
+		rowDirty := false
 		for b := 0; b < n; b++ {
 			d := mrow[b] + m.At(b, a)
 			if d > ZeroTol || d < -ZeroTol {
 				affected++
 			}
+			// Any exactly non-zero delta dirties the row: deltas inside
+			// (0, ZeroTol] are still added to S, so a tolerance-based test
+			// here would let a cache serve stale bits.
+			if d != 0 {
+				rowDirty = true
+			}
 			orow[b] += d
+		}
+		if rowDirty {
+			ws.markDirty(a)
 		}
 	}
 	ws.vws.reset()
@@ -172,6 +192,7 @@ func (ws *Workspace) IncUSR(s *matrix.Dense, up graph.Update, c float64, k int) 
 		Iterations:    k,
 		AffectedPairs: affected,
 		AuxFloats:     n*n + 4*n, // M plus ξ, η, w, γ
+		DirtyRows:     ws.dirtyRows,
 	}
 	return st, nil
 }

@@ -40,6 +40,13 @@ type Workspace struct {
 	vws *wsVec
 	si  []float64
 
+	// dirtyMark/dirtyRows record the rows of S the most recent update
+	// actually wrote — the invalidation signal a read-path cache needs
+	// (Stats.DirtyRows aliases dirtyRows). Reset at the start of every
+	// update, so the slice handed out stays valid until the next one.
+	dirtyMark []bool
+	dirtyRows []int
+
 	// Inc-SR scratch, allocated on first use (see ensureIncSR): the
 	// sparse workspace vectors of Algorithm 2, the pooled rows of the
 	// update matrix M, and the touched-pair bitset. All are reset (in
@@ -67,11 +74,12 @@ type Workspace struct {
 func NewWorkspace(g *graph.DiGraph) *Workspace {
 	n := g.N()
 	ws := &Workspace{
-		n:   n,
-		din: make([]int, n),
-		q:   make([][]qEnt, n),
-		vws: newWsVec(n),
-		si:  make([]float64, n),
+		n:         n,
+		din:       make([]int, n),
+		q:         make([][]qEnt, n),
+		vws:       newWsVec(n),
+		si:        make([]float64, n),
+		dirtyMark: make([]bool, n),
 	}
 	for v := 0; v < n; v++ {
 		ws.din[v] = g.InDegree(v)
@@ -119,6 +127,23 @@ func (ws *Workspace) ensureIncSR() {
 
 // N returns the node count the workspace was built for.
 func (ws *Workspace) N() int { return ws.n }
+
+// resetDirty clears the dirty-row record for the next update, in time
+// proportional to the rows previously marked.
+func (ws *Workspace) resetDirty() {
+	for _, r := range ws.dirtyRows {
+		ws.dirtyMark[r] = false
+	}
+	ws.dirtyRows = ws.dirtyRows[:0]
+}
+
+// markDirty records that the update wrote row r of S.
+func (ws *Workspace) markDirty(r int) {
+	if !ws.dirtyMark[r] {
+		ws.dirtyMark[r] = true
+		ws.dirtyRows = append(ws.dirtyRows, r)
+	}
+}
 
 // searchEnt returns the position of idx in the sorted row (or the
 // insertion point if absent).

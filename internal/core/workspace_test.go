@@ -245,7 +245,12 @@ func TestWorkspaceIncSRMatchesSeedReference(t *testing.T) {
 			if d := matrix.MaxAbsDiff(sWs, sSeed); d != 0 {
 				t.Fatalf("trial %d step %d %v: workspace drifted %g from seed", trial, step, up, d)
 			}
-			if stWs != stSeed {
+			// The seed predates DirtyRows; compare the scalar stats it
+			// does report (DirtyRows has its own tests).
+			if stWs.Iterations != stSeed.Iterations ||
+				stWs.AffectedPairs != stSeed.AffectedPairs ||
+				stWs.FrontierArea != stSeed.FrontierArea ||
+				stWs.AuxFloats != stSeed.AuxFloats {
 				t.Fatalf("trial %d step %d %v: stats %+v != seed %+v", trial, step, up, stWs, stSeed)
 			}
 		}

@@ -1,0 +1,11 @@
+//go:build boundschecks
+
+package matrix
+
+// boundsChecks enables the index assertions of At/Set/Add/Row. The
+// release build compiles them away (see bounds_release.go); building or
+// testing with -tags boundschecks turns every out-of-range access —
+// including the silent wrong-row reads a merely in-slice index causes —
+// into an immediate panic naming the bad index. CI runs the full test
+// suite under this tag.
+const boundsChecks = true

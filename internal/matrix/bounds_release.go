@@ -1,0 +1,9 @@
+//go:build !boundschecks
+
+package matrix
+
+// boundsChecks is off in release builds: the constant-false guard makes
+// the compiler delete the assertions from the Θ(n²)-call hot paths
+// (Inc-uSR's accumulation loop calls At once per node-pair). Build with
+// -tags boundschecks to turn them on.
+const boundsChecks = false

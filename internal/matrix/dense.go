@@ -55,20 +55,70 @@ func Identity(n int) *Dense {
 	return m
 }
 
+// checkIndex asserts 0 ≤ i < Rows and 0 ≤ j < Cols. It is called behind
+// the constant boundsChecks guard, so release builds pay nothing.
+func (m *Dense) checkIndex(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: index (%d, %d) out of range %d×%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// checkRow asserts 0 ≤ i < Rows, behind the same guard.
+func (m *Dense) checkRow(i int) {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d×%d", i, m.Rows, m.Cols))
+	}
+}
+
 // At returns element (i, j).
-func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+//
+// Contract: i ∈ [0, Rows) and j ∈ [0, Cols). The flat row-major index
+// i*Cols+j means an out-of-range j that stays inside the backing slice
+// silently reads an element of a DIFFERENT row — a wrong answer, not a
+// crash — so callers must validate untrusted indices (the engine's query
+// facade does). Build with -tags boundschecks to turn any violation into
+// a panic.
+func (m *Dense) At(i, j int) float64 {
+	if boundsChecks {
+		m.checkIndex(i, j)
+	}
+	return m.Data[i*m.Cols+j]
+}
 
-// Set assigns element (i, j).
-func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+// Set assigns element (i, j); same index contract as At.
+func (m *Dense) Set(i, j int, v float64) {
+	if boundsChecks {
+		m.checkIndex(i, j)
+	}
+	m.Data[i*m.Cols+j] = v
+}
 
-// Add accumulates v into element (i, j).
-func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+// Add accumulates v into element (i, j); same index contract as At.
+func (m *Dense) Add(i, j int, v float64) {
+	if boundsChecks {
+		m.checkIndex(i, j)
+	}
+	m.Data[i*m.Cols+j] += v
+}
 
 // Row returns the i-th row as a slice aliasing the matrix storage.
-func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+// i must be in [0, Rows): on a non-square matrix an out-of-range i can
+// otherwise slice a window of the wrong rows instead of panicking.
+func (m *Dense) Row(i int) []float64 {
+	if boundsChecks {
+		m.checkRow(i)
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
 
-// Col returns a copy of the j-th column.
+// Col returns a copy of the j-th column. j must be in [0, Cols): like
+// At, an out-of-range j otherwise reads elements of the wrong rows.
 func (m *Dense) Col(j int) []float64 {
+	if boundsChecks {
+		if j < 0 || j >= m.Cols {
+			panic(fmt.Sprintf("matrix: column %d out of range %d×%d", j, m.Rows, m.Cols))
+		}
+	}
 	out := make([]float64, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		out[i] = m.Data[i*m.Cols+j]

@@ -259,3 +259,43 @@ func TestQuickFrobeniusTransposeInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The wrong-row hazard the At contract documents: on a 3×3 matrix,
+// At(0, 4) stays inside the 9-element backing slice and silently reads
+// row 1. The release build preserves that raw behavior (callers
+// validate); under -tags boundschecks every such access must panic
+// instead — this test pins down both modes.
+func TestAtOutOfRangeColumnContract(t *testing.T) {
+	m := NewDense(3, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic with boundschecks on", name)
+			}
+		}()
+		f()
+	}
+	if !boundsChecks {
+		if got := m.At(0, 4); got != m.At(1, 1) {
+			t.Fatalf("release At(0,4) = %v; documented wrong-row behavior reads row 1 (%v)", got, m.At(1, 1))
+		}
+		return
+	}
+	mustPanic("At(0,4)", func() { m.At(0, 4) })
+	mustPanic("At(0,-1)", func() { m.At(0, -1) })
+	mustPanic("At(3,0)", func() { m.At(3, 0) })
+	mustPanic("Set(1,3)", func() { m.Set(1, 3, 0) })
+	mustPanic("Add(-1,0)", func() { m.Add(-1, 0, 1) })
+	mustPanic("Row(3)", func() { m.Row(3) })
+	mustPanic("Row(-1)", func() { m.Row(-1) })
+	mustPanic("Col(3)", func() { m.Col(3) })
+	mustPanic("Col(-1)", func() { m.Col(-1) })
+	// In-range access still works.
+	if m.At(1, 1) != 4 {
+		t.Fatalf("At(1,1) = %v, want 4", m.At(1, 1))
+	}
+}

@@ -27,6 +27,9 @@ func TopKPairs(s *matrix.Dense, k int) []Pair {
 		return nil
 	}
 	n := s.Rows
+	if max := n * (n - 1) / 2; k > max {
+		k = max // at most n(n-1)/2 candidates; don't size the heap to a huge k
+	}
 	h := make(pairHeap, 0, k+1)
 	for a := 0; a < n; a++ {
 		row := s.Row(a)
@@ -83,6 +86,18 @@ func TopKRow(row []float64, a, k int) []Pair {
 	for i := len(h) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&h).(Pair)
 	}
+	return out
+}
+
+// ClonePairs returns an independent copy of a pair slice, so a result
+// can be both retained (e.g. by a query cache) and handed to a caller
+// free to mutate it. Clones of nil are nil.
+func ClonePairs(ps []Pair) []Pair {
+	if ps == nil {
+		return nil
+	}
+	out := make([]Pair, len(ps))
+	copy(out, ps)
 	return out
 }
 

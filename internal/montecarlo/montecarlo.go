@@ -15,12 +15,44 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 )
 
+// lockedSource serializes draws from a shared rand.Source64, making one
+// Estimator safe for concurrent queries (an approximate read tier fans
+// Pair/TopK calls across request goroutines). Sequential callers see the
+// exact same draw sequence as an unwrapped source; concurrent callers
+// interleave draws, so their individual estimates are not reproducible —
+// but they are races no more.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
 // Estimator draws coalescing reverse random walks over a fixed graph to
-// estimate SimRank scores.
+// estimate SimRank scores. All query methods are safe for concurrent
+// use; the graph itself must not change underneath (build a new
+// Estimator after updates).
 type Estimator struct {
 	g   *graph.DiGraph
 	c   float64
@@ -47,7 +79,8 @@ func New(g *graph.DiGraph, c float64, walkLen int, seed int64) (*Estimator, erro
 		ins[v] = g.InNeighbors(v)
 	}
 	return &Estimator{
-		g: g, c: c, rng: rand.New(rand.NewSource(seed)),
+		g: g, c: c,
+		rng:     rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
 		walkLen: walkLen, ins: ins,
 	}, nil
 }
@@ -80,11 +113,11 @@ func (e *Estimator) meet(a, b int) int {
 // Pair estimates s(a, b) from walks independent walk-pairs:
 // ŝ = (1/W)·Σ C^{τ_w}, the P-SimRank estimator.
 func (e *Estimator) Pair(a, b int, walks int) float64 {
-	if a == b {
-		return 1
-	}
 	if walks <= 0 {
 		panic("montecarlo: non-positive walk count")
+	}
+	if a == b {
+		return 1
 	}
 	var sum float64
 	for w := 0; w < walks; w++ {
@@ -96,8 +129,13 @@ func (e *Estimator) Pair(a, b int, walks int) float64 {
 }
 
 // PairStderr estimates s(a, b) together with the standard error of the
-// estimate, for confidence-interval reporting.
+// estimate, for confidence-interval reporting. Like Pair it panics on a
+// non-positive walk count — with zero walks the mean is 0/0, and
+// returning NaN would poison every downstream comparison silently.
 func (e *Estimator) PairStderr(a, b int, walks int) (est, stderr float64) {
+	if walks <= 0 {
+		panic("montecarlo: non-positive walk count")
+	}
 	if a == b {
 		return 1, 0
 	}

@@ -3,6 +3,7 @@ package montecarlo
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/batch"
@@ -156,5 +157,93 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	e2, _ := New(g, 0.6, 0, 42)
 	if e1.Pair(5, 7, 500) != e2.Pair(5, 7, 500) {
 		t.Fatal("same seed must reproduce the estimate")
+	}
+}
+
+// One Estimator queried from many goroutines must be race-free: the
+// walks share a single seeded source, which is now serialized by a
+// locking wrapper. Run under -race (CI does) — before the guard this
+// test was a reliable data-race report on e.rng.
+func TestEstimatorConcurrentQueries(t *testing.T) {
+	g := lineGraphForRace()
+	est, err := New(g, 0.6, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a, b := (w+i)%g.N(), (w+2*i+1)%g.N()
+				if s := est.Pair(a, b, 20); s < 0 || s > 1 {
+					t.Errorf("Pair(%d,%d) = %v outside [0,1]", a, b, s)
+				}
+				if e, se := est.PairStderr(a, b, 20); math.IsNaN(e) || math.IsNaN(se) {
+					t.Errorf("PairStderr(%d,%d) = %v ± %v", a, b, e, se)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// lineGraphForRace builds a small graph where walks actually move (every
+// node except 0 has an in-neighbor).
+func lineGraphForRace() *graph.DiGraph {
+	g := graph.New(10)
+	for v := 1; v < 10; v++ {
+		g.AddEdge(v-1, v)
+		g.AddEdge((v+4)%10, v)
+	}
+	return g
+}
+
+// The locked source must not change what sequential callers observe:
+// same seed, same estimates, before and after the concurrency guard.
+func TestEstimatorSequentialDeterminism(t *testing.T) {
+	g := lineGraphForRace()
+	run := func() []float64 {
+		est, err := New(g, 0.6, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, 20)
+		for i := 0; i < 20; i++ {
+			out = append(out, est.Pair(i%10, (i+3)%10, 50))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed sequential runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Zero or negative walk counts must fail loudly in both estimators
+// instead of dividing by zero into a silent NaN.
+func TestNonPositiveWalksPanic(t *testing.T) {
+	g := lineGraphForRace()
+	est, err := New(g, 0.6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(){
+		"Pair":           func() { est.Pair(1, 2, 0) },
+		"PairStderr":     func() { est.PairStderr(1, 2, 0) },
+		"PairNeg":        func() { est.Pair(1, 2, -5) },
+		"PairStderrDiag": func() { est.PairStderr(3, 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with non-positive walks did not panic", name)
+				}
+			}()
+			f()
+		}()
 	}
 }

@@ -120,6 +120,7 @@ func (s *Server) Close() error {
 func (s *Server) Stats() StatsResponse {
 	st := &s.pipe.stats
 	n, m := s.eng.Size()
+	cs := s.eng.CacheStats()
 	return StatsResponse{
 		Nodes:           n,
 		Edges:           m,
@@ -130,7 +131,17 @@ func (s *Server) Stats() StatsResponse {
 		FailedBatches:   st.failedBatches.Load(),
 		MaxBatch:        st.maxBatch.Load(),
 		QueueDepth:      st.depth.Load(),
-		UptimeSeconds:   time.Since(s.start).Seconds(),
+
+		CacheRowHits:         cs.RowHits,
+		CacheRowMisses:       cs.RowMisses,
+		CacheGlobalHits:      cs.GlobalHits,
+		CacheGlobalMisses:    cs.GlobalMisses,
+		CacheInvalidatedRows: cs.InvalidatedRows,
+		CacheFlushes:         cs.Flushes,
+		CacheEvictions:       cs.Evictions,
+		CachedRows:           cs.Rows,
+
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 }
 

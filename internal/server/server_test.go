@@ -478,3 +478,60 @@ func TestServerSnapshotEndpoint(t *testing.T) {
 		t.Fatalf("unconfigured snapshot status %d, want 409", code)
 	}
 }
+
+// TestServerTopKCacheCounters: with the query cache enabled, repeat
+// /topkfor traffic is served without rescanning similarity rows — the
+// cache_row_misses counter in /stats holds still while hits advance —
+// and a committed write invalidates exactly the dirty rows.
+func TestServerTopKCacheCounters(t *testing.T) {
+	_, eng, ts := newTestServer(t, 6, Config{},
+		simrank.Edge{From: 0, To: 3}, simrank.Edge{From: 0, To: 5})
+	eng.SetTopKCacheRows(64)
+
+	get := func(url string) {
+		t.Helper()
+		if code := getJSON(t, ts.URL+url, nil); code != http.StatusOK {
+			t.Fatalf("GET %s status %d", url, code)
+		}
+	}
+	stats := func() StatsResponse {
+		t.Helper()
+		var st StatsResponse
+		if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+			t.Fatalf("stats status %d", code)
+		}
+		return st
+	}
+
+	get("/topkfor?node=1&k=2") // cold: one scan
+	get("/topkfor?node=1&k=2") // warm ×3: zero scans
+	get("/topkfor?node=1&k=1")
+	get("/topkfor?node=1&k=2")
+	get("/topk?k=3")
+	get("/topk?k=3")
+	st := stats()
+	if st.CacheRowMisses != 1 || st.CacheRowHits != 3 {
+		t.Fatalf("row counters %+v; want 1 miss, 3 hits", st)
+	}
+	if st.CacheGlobalMisses != 1 || st.CacheGlobalHits != 1 {
+		t.Fatalf("global counters %+v; want 1 miss, 1 hit", st)
+	}
+	if st.CachedRows != 1 {
+		t.Fatalf("cached_rows = %d, want 1", st.CachedRows)
+	}
+
+	// A synchronous write commits before the response; the dirty rows it
+	// reports must show up as invalidations and re-miss on next query.
+	code := postJSON(t, ts.URL+"/updates?wait=1", UpdateJSON{From: 0, To: 4}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	st = stats()
+	if st.CacheInvalidatedRows == 0 {
+		t.Fatalf("no invalidations after committed write: %+v", st)
+	}
+	get("/topkfor?node=1&k=2")
+	if after := stats(); after.CacheRowMisses != st.CacheRowMisses+1 {
+		t.Fatalf("dirty row not rescanned: %+v then %+v", st, after)
+	}
+}

@@ -138,6 +138,20 @@ type StatsResponse struct {
 	MaxBatch        int64 `json:"max_batch"`
 	QueueDepth      int64 `json:"queue_depth"`
 
+	// Query-cache counters (all zero with -topk-cache 0). The miss
+	// counters are the scans actually performed: /topkfor traffic is
+	// served entirely from cache while cache_row_misses holds still, and
+	// cache_invalidated_rows / updates_applied is the realized precision
+	// of the dirty-row invalidation.
+	CacheRowHits         int64 `json:"cache_row_hits"`
+	CacheRowMisses       int64 `json:"cache_row_misses"`
+	CacheGlobalHits      int64 `json:"cache_global_hits"`
+	CacheGlobalMisses    int64 `json:"cache_global_misses"`
+	CacheInvalidatedRows int64 `json:"cache_invalidated_rows"`
+	CacheFlushes         int64 `json:"cache_flushes"`
+	CacheEvictions       int64 `json:"cache_evictions"`
+	CachedRows           int   `json:"cached_rows"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 

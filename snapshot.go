@@ -82,8 +82,12 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 // recomputed; use Recompute to rebuild it from the graph if desired.
 // The compute workspace (transition matrices, update scratch) is not part
 // of the snapshot — a restored engine rebuilds it lazily from the graph
-// on its first update or recompute. Options.Workers is a runtime knob and
-// is likewise not persisted; restored engines use the GOMAXPROCS default.
+// on its first update or recompute. Options.Workers and
+// Options.TopKCacheRows are runtime knobs and are likewise not persisted;
+// restored engines use the GOMAXPROCS default with the query cache off
+// until SetWorkers/SetTopKCacheRows say otherwise (starting the cache
+// cold is also what keeps a restore trivially consistent — there is
+// nothing stale to invalidate).
 //
 // ReadSnapshot is safe on hostile input: its allocations are bounded by
 // the bytes actually consumed, never by the header's claimed dimensions.

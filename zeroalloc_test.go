@@ -220,3 +220,33 @@ func TestSnapshotRestoreRebuildsWorkspace(t *testing.T) {
 		t.Fatalf("restored engine allocated %v times per warm toggle, want 0", allocs)
 	}
 }
+
+// Enabling the query cache must not cost the write path its guarantee:
+// dirty-row invalidation is map deletes and counter bumps, so a warm
+// Apply stays at zero heap allocations with the cache on and populated.
+func TestEngineApplyZeroAllocsWithCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randTestGraph(rng, 40, 160)
+	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10, TopKCacheRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < g.N(); a++ {
+		eng.TopKFor(a, 5) // populate so invalidation has entries to drop
+	}
+	edges := g.Edges()[:4]
+	toggle := func() {
+		for _, e := range edges {
+			if _, err := eng.Delete(e.From, e.To); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Insert(e.From, e.To); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	toggle() // warm up
+	if allocs := testing.AllocsPerRun(20, toggle); allocs != 0 {
+		t.Fatalf("warm Apply with cache allocated %v times per toggle pass, want 0", allocs)
+	}
+}
