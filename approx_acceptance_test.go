@@ -1,0 +1,104 @@
+package simrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/graph"
+	"repro/internal/montecarlo"
+)
+
+// TestApproxStatisticalAcceptance is the honesty check on the sampling
+// tier's error bars: on the paper's Fig-1 graph and on seeded random
+// graphs, the observed error of the P-SimRank estimator against the
+// exact iterative-form SimRank must fall within 3 estimated standard
+// errors for at least 95% of sampled pairs.
+//
+// The reference is batch.JehWidom at K iterations with the estimator's
+// walk cap set to the same K: the truncated first-meeting-time identity
+// s_K(a,b) = E[C^τ·1{τ≤K}] makes the estimator unbiased for exactly
+// that value, so any residual discrepancy is sampling noise — which is
+// precisely what the stderr claims to bound.
+func TestApproxStatisticalAcceptance(t *testing.T) {
+	const (
+		c     = 0.6
+		k     = 8 // walk cap == reference iterations
+		walks = 4000
+	)
+	fig1, _ := graph.Fig1Graph()
+	graphs := []*graph.DiGraph{fig1}
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 2; trial++ {
+		n := 18 + rng.Intn(10)
+		g := graph.New(n)
+		for g.M() < 3*n {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		graphs = append(graphs, g)
+	}
+
+	for gi, g := range graphs {
+		exact := batch.JehWidom(g, c, k)
+		est, err := montecarlo.NewIndex(g).NewEstimator(c, k, 55+int64(gi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, within := 0, 0
+		var worst float64
+		for a := 0; a < g.N(); a++ {
+			for b := a + 1; b < g.N(); b++ {
+				mean, stderr := est.PairStderr(a, b, walks)
+				errAbs := math.Abs(mean - exact.At(a, b))
+				total++
+				if errAbs <= 3*stderr {
+					within++
+				} else if errAbs > worst {
+					worst = errAbs
+				}
+			}
+		}
+		frac := float64(within) / float64(total)
+		if frac < 0.95 {
+			t.Fatalf("graph %d: only %.1f%% of %d pairs within 3·stderr (worst miss %g)",
+				gi, 100*frac, total, worst)
+		}
+	}
+}
+
+// The sampling tier must be reproducible: the same seed over the same
+// walk index replays the identical draw sequence, so sequential query
+// streams — and therefore tests and debug sessions — are deterministic.
+func TestApproxDeterministicUnderSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	g := randTestGraph(rng, 25, 100)
+	run := func() ([]float64, []Pair) {
+		eng, err := NewEngine(g.N(), g.Edges(), Options{Backend: BackendApprox, ApproxWalks: 64, ApproxSeed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sims []float64
+		for a := 0; a < 5; a++ {
+			for b := 0; b < g.N(); b++ {
+				sims = append(sims, eng.Similarity(a, b))
+			}
+		}
+		return sims, eng.TopKFor(3, 8)
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("similarity stream diverged at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("TopKFor lengths %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("TopKFor[%d] %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+}

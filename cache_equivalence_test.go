@@ -17,7 +17,10 @@ import (
 func TestCacheEquivalenceRandomStreams(t *testing.T) {
 	for _, disablePruning := range []bool{false, true} {
 		for _, workers := range []int{1, 4} {
-			opts := Options{K: 20, DisablePruning: disablePruning, Workers: workers}
+			// The suite's backend (dense, or packed under CI's
+			// SIMRANK_BACKEND matrix entry) carries the whole property:
+			// caching must be bit-transparent on every exact store.
+			opts := withTestBackend(t, Options{K: 20, DisablePruning: disablePruning, Workers: workers})
 			name := fmt.Sprintf("pruning=%v/workers=%d", !disablePruning, workers)
 			t.Run(name, func(t *testing.T) {
 				rng := rand.New(rand.NewSource(int64(workers)*1000 + int64(len(name))))

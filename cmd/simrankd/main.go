@@ -9,8 +9,16 @@
 //
 //	simrankd -graph edges.txt [-addr :8080] [-snapshot state.simr]
 //	         [-c 0.6] [-k 15] [-no-prune] [-workers 0] [-topk-cache 4096]
+//	         [-backend dense|packed|approx] [-approx-walks 128] [-approx-seed 1]
 //	simrankd -restore state.simr [-addr :8080] [-snapshot state.simr]
 //	simrankd -n 100                       # empty graph with 100 nodes
+//
+// -backend selects the similarity store: dense (exact, 8n² bytes),
+// packed (exact, ≈4n² bytes — the same engine at half the memory) or
+// approx (read-only Monte-Carlo tier, O(n+m) bytes — the only backend
+// that loads graphs whose n² is out of budget; write endpoints answer
+// 409 there). The backend is baked into snapshots, so it conflicts with
+// -restore.
 //
 // With -snapshot set, POST /snapshot persists on demand and a graceful
 // shutdown (SIGINT/SIGTERM) drains the write pipeline and writes a final
@@ -52,6 +60,9 @@ func run() error {
 		c        = flag.Float64("c", 0.6, "damping factor in (0,1)")
 		k        = flag.Int("k", 15, "iteration count")
 		noPrune  = flag.Bool("no-prune", false, "use Inc-uSR (no pruning) for updates")
+		backend  = flag.String("backend", "dense", "similarity store: dense, packed or approx")
+		walks    = flag.Int("approx-walks", 128, "approx backend: walks per pair (stderr shrinks as 1/sqrt)")
+		seed     = flag.Int64("approx-seed", 1, "approx backend: RNG seed")
 		workers  = flag.Int("workers", 0, "batch-computation goroutines (0 = GOMAXPROCS)")
 		topkRows = flag.Int("topk-cache", 4096, "rows retained by the dirty-row top-k query cache (0 disables)")
 		queue    = flag.Int("queue", 1024, "write-pipeline queue size (requests)")
@@ -70,16 +81,20 @@ func run() error {
 		var clash []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "c", "k", "no-prune", "n":
+			case "c", "k", "no-prune", "n", "backend", "approx-walks", "approx-seed":
 				clash = append(clash, "-"+f.Name)
 			}
 		})
 		if len(clash) > 0 {
-			return fmt.Errorf("%s conflict with -restore: the snapshot fixes the graph and the C/K/pruning options (drop the flag or boot from -graph)", strings.Join(clash, ", "))
+			return fmt.Errorf("%s conflict with -restore: the snapshot fixes the graph, the C/K/pruning options and the store backend (drop the flag or boot from -graph)", strings.Join(clash, ", "))
 		}
+	}
+	if _, err := simrank.ParseBackend(*backend); err != nil {
+		return err
 	}
 	eng, err := bootEngine(*restore, *graphPth, *nodes, simrank.Options{
 		C: *c, K: *k, DisablePruning: *noPrune, Workers: *workers,
+		Backend: simrank.Backend(*backend), ApproxWalks: *walks, ApproxSeed: *seed,
 	})
 	if err != nil {
 		return err
@@ -90,7 +105,8 @@ func run() error {
 	// The cache is a runtime knob (never persisted), so it is applied the
 	// same way on every boot path, including -restore.
 	eng.SetTopKCacheRows(*topkRows)
-	fmt.Printf("simrankd: engine ready (%d nodes, %d edges)\n", eng.N(), eng.M())
+	fmt.Printf("simrankd: engine ready (%d nodes, %d edges, %s store, %d store bytes)\n",
+		eng.N(), eng.M(), eng.Backend(), eng.StoreMemBytes())
 
 	srv := server.New(eng, server.Config{
 		SnapshotPath: *snapshot,

@@ -39,6 +39,29 @@ func (c *ConcurrentEngine) Similarity(a, b int) float64 {
 	return c.eng.Similarity(a, b)
 }
 
+// SimilarityStderr returns s(a, b) and its standard error under a read
+// lock; see Engine.SimilarityStderr.
+func (c *ConcurrentEngine) SimilarityStderr(a, b int) (score, stderr float64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.SimilarityStderr(a, b)
+}
+
+// Backend returns the similarity-store backend under a read lock.
+func (c *ConcurrentEngine) Backend() Backend {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.Backend()
+}
+
+// StoreMemBytes reports the similarity store's resident bytes under a
+// read lock; see Engine.StoreMemBytes.
+func (c *ConcurrentEngine) StoreMemBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.StoreMemBytes()
+}
+
 // TopK returns the k most similar pairs under a read lock.
 func (c *ConcurrentEngine) TopK(k int) []Pair {
 	c.mu.RLock()

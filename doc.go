@@ -50,6 +50,21 @@
 // lifecycle (WriteSnapshotFile, the -snapshot and -restore flags). See
 // the README's "Serving" section for the endpoint table and semantics.
 //
+// # Similarity-store backends
+//
+// The n×n similarity matrix is the system's memory wall, so the engine
+// keeps it behind a pluggable store (internal/simstore) selected with
+// Options.Backend: "dense" (the exact 8n²-byte baseline), "packed"
+// (exact symmetric upper-triangular storage at ≈4n² — the same
+// incremental machinery writing through a symmetric AddSym, warm Apply
+// still allocation-free) and "approx" (no matrix at all: a read-only
+// Monte-Carlo tier over a shared O(n+m) walk index, answering queries by
+// sampling with a reported standard error — the only backend that loads
+// 100k+-node graphs). Mutations on approx return ErrReadOnlyBackend;
+// snapshots carry a versioned header per backend and round-trip
+// byte-identically. See the README's "Backends" section for the
+// memory formulas and tier-selection guidance.
+//
 // # Query caching
 //
 // The read path scales through a dirty-row top-k cache

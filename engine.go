@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/simstore"
 )
 
 // Edge is a directed edge From → To (a citation, hyperlink, …).
@@ -22,6 +23,28 @@ type Pair = metrics.Pair
 
 // UpdateStats reports the work one incremental update performed.
 type UpdateStats = core.Stats
+
+// Backend names a similarity-store implementation; see Options.Backend.
+type Backend = simstore.Backend
+
+// The available similarity-store backends (see internal/simstore):
+// dense is the exact 8n²-byte baseline, packed the exact symmetric
+// ≈4n²-byte store, approx the read-only O(n+m) Monte-Carlo tier.
+const (
+	BackendDense  = simstore.BackendDense
+	BackendPacked = simstore.BackendPacked
+	BackendApprox = simstore.BackendApprox
+)
+
+// ParseBackend validates a backend name ("" selects dense) — the parser
+// behind Options.Backend and the simrankd -backend flag.
+func ParseBackend(s string) (Backend, error) { return simstore.ParseBackend(s) }
+
+// ErrReadOnlyBackend is returned by every mutation (Apply, ApplyBatch,
+// Insert, Delete, AddNodes) on an approx-backend engine: the sampling
+// tier has no materialized similarity matrix to fold updates into.
+// Rebuild the engine over the new graph instead.
+var ErrReadOnlyBackend = fmt.Errorf("simrank: %w", simstore.ErrReadOnly)
 
 // Options configures an Engine. The zero value selects the paper's
 // defaults: C = 0.6, K = 15, pruning enabled.
@@ -58,6 +81,24 @@ type Options struct {
 	// pure runtime knob: not persisted in snapshots, changeable after
 	// construction via SetTopKCacheRows.
 	TopKCacheRows int
+	// Backend selects the similarity store the engine keeps S in; the
+	// empty value selects "dense", today's exact 8n²-byte matrix. "packed"
+	// is the exact symmetric store at about half that; "approx" drops the
+	// matrix entirely for a read-only Monte-Carlo sampling tier (O(n+m)
+	// memory, per-query standard errors) — the only backend that loads
+	// graphs whose n² is out of budget. The backend is baked into the
+	// similarity state and persisted in snapshots.
+	Backend Backend
+	// ApproxWalks is the per-pair walk budget of the approx backend
+	// (ignored elsewhere); 0 selects the default 128, the maximum is
+	// simstore.MaxWalks (the same bound snapshots enforce on restore).
+	// More walks shrink the standard error as 1/√walks and cost linearly
+	// more per query.
+	ApproxWalks int
+	// ApproxSeed seeds the approx backend's RNG (ignored elsewhere);
+	// 0 selects the default 1. A fixed seed makes a sequential query
+	// stream reproducible.
+	ApproxSeed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +111,15 @@ func (o Options) withDefaults() Options {
 	if o.RecomputeThreshold == 0 {
 		o.RecomputeThreshold = 0.15
 	}
+	if o.Backend == "" {
+		o.Backend = BackendDense
+	}
+	if o.ApproxWalks == 0 {
+		o.ApproxWalks = 128
+	}
+	if o.ApproxSeed == 0 {
+		o.ApproxSeed = 1
+	}
 	return o
 }
 
@@ -80,6 +130,12 @@ func (o Options) validate() error {
 	if o.K < 1 {
 		return fmt.Errorf("simrank: iteration count K=%d < 1", o.K)
 	}
+	if _, err := simstore.ParseBackend(string(o.Backend)); err != nil {
+		return fmt.Errorf("simrank: %w", err)
+	}
+	if o.ApproxWalks < 0 || o.ApproxWalks > simstore.MaxWalks {
+		return fmt.Errorf("simrank: approx walk budget %d outside [0, %d]", o.ApproxWalks, simstore.MaxWalks)
+	}
 	return nil
 }
 
@@ -89,7 +145,10 @@ func (o Options) validate() error {
 type Engine struct {
 	opts Options
 	g    *graph.DiGraph
-	s    *matrix.Dense
+	// s is the similarity store (see Options.Backend): a dense or packed
+	// exact matrix the incremental machinery writes through, or the
+	// read-only approx sampling tier.
+	s simstore.Store
 	// ws is the persistent compute workspace: the incrementally-maintained
 	// transition matrices plus every update scratch buffer, so steady-state
 	// Apply allocates nothing. Built lazily (nil after ReadSnapshot and
@@ -104,9 +163,12 @@ type Engine struct {
 	lastStats UpdateStats
 }
 
-// NewEngine builds an engine over n nodes with the given initial edges and
-// computes the initial similarities with the batch algorithm
-// (row-parallel across Options.Workers goroutines).
+// NewEngine builds an engine over n nodes with the given initial edges.
+// Exact backends (dense, packed) compute the initial similarities with
+// the batch algorithm (row-parallel across Options.Workers goroutines);
+// the approx backend skips the O(Kd'n²) batch step entirely and only
+// builds its O(n+m) walk index — which is what lets it load graphs whose
+// n×n matrix could never be materialized.
 func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -117,14 +179,46 @@ func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 	}
 	g := graph.FromEdges(n, edges)
 	e := &Engine{opts: opts, g: g}
-	e.s = matrix.NewDense(n, n)
-	// The ping-pong scratch here is transient: engines that never call
-	// Recompute should not retain a second n×n buffer for their lifetime
-	// (the workspace allocates its own lazily on the first Recompute).
-	batch.MatrixFormInto(e.s, matrix.NewDense(n, n), e.workspace().TransitionCSR(), opts.C, opts.K, opts.Workers)
+	switch opts.Backend {
+	case BackendDense:
+		ds := simstore.NewDense(n)
+		// The ping-pong scratch here is transient: engines that never call
+		// Recompute should not retain a second n×n buffer for their lifetime
+		// (the workspace allocates its own lazily on the first Recompute).
+		batch.MatrixFormInto(ds.Matrix(), matrix.NewDense(n, n), e.workspace().TransitionCSR(), opts.C, opts.K, opts.Workers)
+		e.s = ds
+	case BackendPacked:
+		// The kernel iterates on dense ping-pong buffers (its sparse-dense
+		// products need full rows); both are transient here, so the packed
+		// engine's steady state holds only the ≈4n² packed payload.
+		ps := simstore.NewPacked(n)
+		buf := matrix.NewDense(n, n)
+		batch.MatrixFormInto(buf, matrix.NewDense(n, n), e.workspace().TransitionCSR(), opts.C, opts.K, opts.Workers)
+		ps.SetFromDense(buf)
+		e.s = ps
+	case BackendApprox:
+		// Walk cap = K: the sampling tier truncates its series at the same
+		// depth an exact K-iteration engine would.
+		as, err := simstore.NewApprox(g, opts.C, opts.K, opts.ApproxWalks, opts.ApproxSeed)
+		if err != nil {
+			return nil, fmt.Errorf("simrank: %w", err)
+		}
+		e.s = as
+	}
 	e.SetTopKCacheRows(opts.TopKCacheRows)
 	return e, nil
 }
+
+// readOnly reports whether the engine's backend rejects mutation.
+func (e *Engine) readOnly() bool { return e.opts.Backend == BackendApprox }
+
+// Backend returns the similarity-store backend the engine runs on.
+func (e *Engine) Backend() Backend { return e.s.Backend() }
+
+// StoreMemBytes reports the similarity store's resident size in bytes —
+// 8n² dense, ≈4n² packed, O(n+m) approx. Served as /stats
+// "store_bytes".
+func (e *Engine) StoreMemBytes() int64 { return e.s.MemBytes() }
 
 // workspace returns the engine's persistent compute workspace, building
 // it from the current graph on first use.
@@ -157,7 +251,8 @@ func (e *Engine) HasEdge(i, j int) bool {
 func (e *Engine) validNode(v int) bool { return v >= 0 && v < e.g.N() }
 
 // Similarity returns the current SimRank score s(a, b), or 0 when either
-// node is out of range.
+// node is out of range. On the approx backend this is a sampling
+// estimate (use SimilarityStderr for its confidence).
 func (e *Engine) Similarity(a, b int) float64 {
 	if !e.validNode(a) || !e.validNode(b) {
 		return 0
@@ -165,26 +260,45 @@ func (e *Engine) Similarity(a, b int) float64 {
 	return e.s.At(a, b)
 }
 
+// SimilarityStderr returns s(a, b) together with the standard error of
+// the answer: 0 on the exact backends, the sampling stderr on approx
+// (|true − est| ≤ 3·stderr with ≈99% confidence). Out-of-range nodes
+// yield (0, 0).
+func (e *Engine) SimilarityStderr(a, b int) (score, stderr float64) {
+	if !e.validNode(a) || !e.validNode(b) {
+		return 0, 0
+	}
+	if smp, ok := e.s.(simstore.Sampler); ok {
+		return smp.PairStderr(a, b)
+	}
+	return e.s.At(a, b), 0
+}
+
 // Similarities returns the full similarity matrix. The returned matrix is
-// a snapshot copy; mutating it does not affect the engine.
-func (e *Engine) Similarities() *matrix.Dense { return e.s.Clone() }
+// a snapshot copy; mutating it does not affect the engine. The approx
+// backend returns nil — materializing n² estimates is the workload that
+// backend exists to refuse.
+func (e *Engine) Similarities() *matrix.Dense { return e.s.ToDense() }
 
 // TopK returns the k most similar distinct node-pairs (nil when k ≤ 0).
 // With the query cache enabled, a repeat of a warm k is served without
 // rescanning the n²/2 pairs; the answer is bit-identical either way.
+// On the approx backend TopK returns nil: a global scan over all n²/2
+// pairs is exactly the work the sampling tier exists to avoid (use
+// TopKFor per node instead).
 func (e *Engine) TopK(k int) []Pair {
-	if k <= 0 {
+	if k <= 0 || e.s.Backend() == BackendApprox {
 		return nil
 	}
 	if e.cache != nil {
 		if ps, ok := e.cache.GetGlobal(k); ok {
 			return ps
 		}
-		ps := metrics.TopKPairs(e.s, k)
+		ps := metrics.TopKPairsUpper(e.s.N(), e.s.UpperRow, k)
 		e.cache.PutGlobal(k, ps)
 		return metrics.ClonePairs(ps)
 	}
-	return metrics.TopKPairs(e.s, k)
+	return metrics.TopKPairsUpper(e.s.N(), e.s.UpperRow, k)
 }
 
 // TopKFor returns up to k nodes most similar to node a, highest first
@@ -196,15 +310,25 @@ func (e *Engine) TopKFor(a, k int) []Pair {
 	if !e.validNode(a) || k <= 0 {
 		return nil
 	}
+	// Sampling backends bypass the cache: a sampled list shorter than k
+	// does not mean the row is exhausted (weak candidates can refine to
+	// zero and drop out), which would violate the cache's
+	// short-result-serves-any-larger-k rule — and sampled answers are
+	// not bit-stable across calls in the first place.
+	if smp, ok := e.s.(simstore.Sampler); ok {
+		return smp.TopKRow(a, k)
+	}
 	if e.cache != nil {
 		if ps, ok := e.cache.GetRow(a, k); ok {
 			return ps
 		}
-		ps := metrics.TopKRow(e.s.Row(a), a, k)
+		ps := metrics.TopKRow(e.s.ConcurrentRow(a), a, k)
 		e.cache.PutRow(a, k, ps)
 		return metrics.ClonePairs(ps)
 	}
-	return metrics.TopKRow(e.s.Row(a), a, k)
+	// Exact backends scan a concurrency-safe row view: a zero-copy alias
+	// on dense, one O(n) materialization on packed.
+	return metrics.TopKRow(e.s.ConcurrentRow(a), a, k)
 }
 
 // Insert adds edge (i, j) and incrementally updates all similarities.
@@ -228,6 +352,9 @@ func (e *Engine) Delete(i, j int) (UpdateStats, error) {
 // usable window only single-threaded, so ConcurrentEngine's wrappers
 // return a detached copy instead.
 func (e *Engine) Apply(up Update) (UpdateStats, error) {
+	if e.readOnly() {
+		return UpdateStats{}, ErrReadOnlyBackend
+	}
 	// The workspace variants never mutate S before their last error check,
 	// so a failed update leaves the engine untouched.
 	ws := e.workspace()
@@ -266,6 +393,9 @@ func (e *Engine) Apply(up Update) (UpdateStats, error) {
 func (e *Engine) ApplyBatch(ups []Update) error {
 	if len(ups) == 0 {
 		return nil
+	}
+	if e.readOnly() {
+		return ErrReadOnlyBackend
 	}
 	if err := e.validateBatch(ups); err != nil {
 		return err
@@ -334,17 +464,11 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 	if count < 0 {
 		return 0, fmt.Errorf("simrank: negative node count %d", count)
 	}
-	oldN := e.g.N()
+	if e.readOnly() {
+		return 0, ErrReadOnlyBackend
+	}
 	first = e.g.AddNodes(count)
-	n := oldN + count
-	next := matrix.NewDense(n, n)
-	for r := 0; r < oldN; r++ {
-		copy(next.Row(r)[:oldN], e.s.Row(r))
-	}
-	for v := oldN; v < n; v++ {
-		next.Set(v, v, 1-e.opts.C)
-	}
-	e.s = next
+	e.s = e.s.AddNodes(count, 1-e.opts.C)
 	// The workspace is sized for the old n; rebuild it lazily at the new
 	// size on the next update.
 	e.ws = nil
@@ -359,13 +483,27 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 
 // Recompute rebuilds the similarities from scratch with the batch
 // algorithm (the engine's safety valve; never needed for correctness).
-// It runs the unified row-parallel kernel across Options.Workers
-// goroutines, ping-ponging between the engine's matrix and the
-// workspace's persistent scratch buffer — a warm sequential recompute
-// (Workers = 1) allocates nothing.
+// On the dense backend it runs the unified row-parallel kernel across
+// Options.Workers goroutines, ping-ponging between the engine's matrix
+// and the workspace's persistent scratch buffer — a warm sequential
+// recompute (Workers = 1) allocates nothing. The packed backend iterates
+// on two transient dense buffers and compresses the result back into
+// packed storage: its recompute transiently costs 16n² bytes, but its
+// steady state never retains a dense buffer. The read-only approx
+// backend has nothing to rebuild; Recompute is a no-op there.
 func (e *Engine) Recompute() {
+	if e.readOnly() {
+		return
+	}
 	ws := e.workspace()
-	batch.MatrixFormInto(e.s, ws.DenseScratch(), ws.TransitionCSR(), e.opts.C, e.opts.K, e.opts.Workers)
+	switch s := e.s.(type) {
+	case *simstore.Dense:
+		batch.MatrixFormInto(s.Matrix(), ws.DenseScratch(), ws.TransitionCSR(), e.opts.C, e.opts.K, e.opts.Workers)
+	case *simstore.Packed:
+		buf := matrix.NewDense(s.N(), s.N())
+		batch.MatrixFormInto(buf, matrix.NewDense(s.N(), s.N()), ws.TransitionCSR(), e.opts.C, e.opts.K, e.opts.Workers)
+		s.SetFromDense(buf)
+	}
 	if e.cache != nil {
 		e.cache.Flush() // every entry may have moved
 	}

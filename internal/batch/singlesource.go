@@ -23,20 +23,32 @@ func SingleSource(q *matrix.CSR, c float64, k, query int) ([]float64, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("batch: negative iteration count %d", k)
 	}
+	// Five O(n) buffers, allocated once, carry the whole series: the
+	// back-walk ping-pong pair and the forward ping-pong pair reuse the
+	// in-place CSR kernels, so the allocation count is a small constant
+	// independent of K — the memory really is O(n), not O(K²) transient
+	// vectors left to the collector.
 	out := make([]float64, n)
 	// k = 0 term: (1−C)·e_q.
 	out[query] = 1 - c
-	back := matrix.UnitVec(n, query) // (Qᵀ)^t · e_q
+	back := make([]float64, n) // (Qᵀ)^t · e_q
+	back[query] = 1
+	backNext := make([]float64, n)
+	fwd := make([]float64, n)
+	fwdNext := make([]float64, n)
 	ck := 1.0
 	for t := 1; t <= k; t++ {
-		back = q.MulVecT(back)
+		q.MulVecTTo(backNext, back)
+		back, backNext = backNext, back
 		ck *= c
 		// Forward: fwd = Q^t · back.
-		fwd := matrix.CloneVec(back)
+		copy(fwd, back)
+		cur, nxt := fwd, fwdNext
 		for s := 0; s < t; s++ {
-			fwd = q.MulVec(fwd)
+			q.MulVecTo(nxt, cur)
+			cur, nxt = nxt, cur
 		}
-		matrix.Axpy((1-c)*ck, fwd, out)
+		matrix.Axpy((1-c)*ck, cur, out)
 	}
 	return out, nil
 }

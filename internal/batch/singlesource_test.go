@@ -1,0 +1,79 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// SingleSource must equal the query column of the full matrix-form
+// computation bit for bit: same kernels, same accumulation order, just
+// restricted to one column.
+func TestSingleSourceMatchesMatrixForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		n := 5 + rng.Intn(20)
+		g := randGraph(rng, n, 3*n)
+		full := MatrixForm(g, 0.6, 10)
+		q := g.BackwardTransition()
+		for query := 0; query < n; query++ {
+			col, err := SingleSource(q, 0.6, 10, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < n; v++ {
+				if d := col[v] - full.At(v, query); d > 1e-12 || d < -1e-12 {
+					t.Fatalf("SingleSource(%d)[%d] = %v, full %v", query, v, col[v], full.At(v, query))
+				}
+			}
+		}
+	}
+}
+
+// The single-source query is the O(n)-memory escape hatch for graphs too
+// large to score fully, so its allocation count must not scale with the
+// iteration count K (the old implementation left O(K²) transient vectors
+// to the collector): a constant handful of O(n) buffers carries the
+// whole series.
+func TestSingleSourceAllocsIndependentOfK(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randGraph(rng, 60, 240)
+	q := g.BackwardTransition()
+	measure := func(k int) float64 {
+		return testing.AllocsPerRun(20, func() {
+			if _, err := SingleSource(q, 0.6, k, 3); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := measure(5), measure(40)
+	if small != large {
+		t.Fatalf("allocations scale with K: %v allocs at K=5, %v at K=40", small, large)
+	}
+	// The five series buffers plus the error-free return path; a little
+	// headroom for runtime accounting, but nowhere near K² vectors.
+	if large > 8 {
+		t.Fatalf("SingleSource allocated %v times, want the constant buffer set (≤ 8)", large)
+	}
+}
+
+// CSR.MulVecTTo must be bit-identical to the allocating MulVecT.
+func TestMulVecTToMatchesMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randGraph(rng, 30, 120)
+	q := g.BackwardTransition()
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := q.MulVecT(x)
+	got := make([]float64, 30)
+	for i := range got {
+		got[i] = rng.NormFloat64() // stale garbage the kernel must clear
+	}
+	q.MulVecTTo(got, x)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("MulVecTTo[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

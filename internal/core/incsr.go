@@ -39,9 +39,14 @@ func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64,
 // s is mutated only after all validation, so a failed update leaves it
 // untouched; the workspace itself must reflect the pre-update graph and
 // is left unchanged (call ApplyUpdate separately once the graph changes).
-func (ws *Workspace) IncSR(s *matrix.Dense, up graph.Update, c float64, k int) (Stats, error) {
+//
+// s is any SimStore: the dense matrix of the classic engine or a
+// packed-symmetric store — every read respects the scratch-row aliasing
+// contract and every write goes through AddSym, so the store layout is
+// free to halve the symmetric storage.
+func (ws *Workspace) IncSR(s SimStore, up graph.Update, c float64, k int) (Stats, error) {
 	n := ws.n
-	if s.Rows != n || s.Cols != n {
+	if s.N() != n {
 		return Stats{}, &ErrBadUpdate{up, "similarity matrix size mismatch"}
 	}
 	// Theorem 1: ΔQ = uv·e_j·vᵀ, v in ws.vws.
@@ -83,9 +88,7 @@ func (ws *Workspace) IncSR(s *matrix.Dense, up graph.Update, c float64, k int) (
 
 	// Lines 3–12: memoize [w]_b = [Q]_{b,·}·[S]_{·,i} and γ only on B₀.
 	si := ws.si
-	for v := 0; v < n; v++ {
-		si[v] = s.Data[v*n+i]
-	}
+	s.ColInto(si, i)
 	w := ws.w
 	for _, b := range b0.supp {
 		if ws.din[b] == 0 {
@@ -174,15 +177,13 @@ func (ws *Workspace) IncSR(s *matrix.Dense, up graph.Update, c float64, k int) (
 	touched := ws.touched
 	for _, a := range ws.rowSupp {
 		mrow := ws.mRows[a]
-		orow := s.Row(a)
 		for _, b := range colSupp.supp {
 			v := mrow[b]
 			mrow[b] = 0
 			if v <= ZeroTol && v >= -ZeroTol {
 				continue
 			}
-			orow[b] += v
-			s.Data[b*n+a] += v
+			s.AddSym(a, b, v)
 			touched.set(a, b)
 			touched.set(b, a)
 			// The write landed in rows a (entry b) and b (entry a): both
@@ -227,7 +228,7 @@ func (ws *Workspace) IncSR(s *matrix.Dense, up graph.Update, c float64, k int) (
 // gammaWs fills gam with gammaDense restricted to the B₀ support
 // (Algorithm 2 lines 4–12): every entry of γ outside B₀ is structurally
 // zero by the Theorem-4 argument, so it is never materialized.
-func gammaWs(gam *wsVec, s *matrix.Dense, w *wsVec, lam float64, up graph.Update, dj int, c float64, b0 *wsVec) {
+func gammaWs(gam *wsVec, s SimStore, w *wsVec, lam float64, up graph.Update, dj int, c float64, b0 *wsVec) {
 	i, j := up.Edge.From, up.Edge.To
 	if up.Insert {
 		if dj == 0 {

@@ -35,15 +35,15 @@ type Stats struct {
 
 // lambda computes the scalar λ of Eq. (29):
 // λ = [S]_{i,i} + (1/C)[S]_{j,j} − 2·[w]_j − 1/C + 1, where w = Q·[S]_{·,i}.
-func lambda(s *matrix.Dense, i, j int, wj, c float64) float64 {
+func lambda(s SimStore, i, j int, wj, c float64) float64 {
 	return s.At(i, i) + s.At(j, j)/c - 2*wj - 1/c + 1
 }
 
 // gammaDense fills gam with the auxiliary vector γ of Theorem 3
 // (Eqs. 27–28) given the memoized w = Q·[S]_{·,i}, the scalar λ, the old
 // S, and the update. dj is the in-degree of j in the old graph.
-func gammaDense(gam []float64, s *matrix.Dense, w []float64, lam float64, up graph.Update, dj int, c float64) {
-	n := s.Rows
+func gammaDense(gam []float64, s SimStore, w []float64, lam float64, up graph.Update, dj int, c float64) {
+	n := s.N()
 	i, j := up.Edge.From, up.Edge.To
 	if up.Insert {
 		if dj == 0 {
@@ -105,10 +105,12 @@ func IncUSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64
 // scratch (M plus the ξ/η/w/γ vectors, allocated on first use) — zero
 // heap allocations once warm. s is mutated only after all validation; the
 // workspace must reflect the pre-update graph and is left unchanged (call
-// ApplyUpdate separately once the graph changes).
-func (ws *Workspace) IncUSR(s *matrix.Dense, up graph.Update, c float64, k int) (Stats, error) {
+// ApplyUpdate separately once the graph changes). Like IncSR it accepts
+// any SimStore: all writes flow through Add/AddSym so symmetric layouts
+// apply each unordered pair's delta to one backing cell.
+func (ws *Workspace) IncUSR(s SimStore, up graph.Update, c float64, k int) (Stats, error) {
 	n := ws.n
-	if s.Rows != n || s.Cols != n {
+	if s.N() != n {
 		return Stats{}, &ErrBadUpdate{up, "similarity matrix size mismatch"}
 	}
 	uv, err := ws.decompose(up)
@@ -122,9 +124,7 @@ func (ws *Workspace) IncUSR(s *matrix.Dense, up graph.Update, c float64, k int) 
 
 	// Lines 3–4: w := Q·[S]_{·,i};  λ := [S]_{i,i} + [S]_{j,j}/C − 2[w]_j − 1/C + 1.
 	si := ws.si
-	for v := 0; v < n; v++ {
-		si[v] = s.Data[v*n+i]
-	}
+	s.ColInto(si, i)
 	w := ws.wD
 	ws.mulQ(w, si)
 	lam := lambda(s, i, j, w[j], c)
@@ -164,27 +164,36 @@ func (ws *Workspace) IncUSR(s *matrix.Dense, up graph.Update, c float64, k int) 
 	}
 
 	// Line 18: S̃ := S + M_K + M_Kᵀ. All reads of the old S happened in
-	// the preprocessing above, so mutating in place is safe.
+	// the preprocessing above, so mutating in place is safe. Each
+	// unordered pair is visited once: its delta d = [M]_{a,b} + [M]_{b,a}
+	// is the same for both mirror entries (float addition commutes), so
+	// AddSym lands the identical bits the old per-ordered-entry loop
+	// wrote, while a packed store pays one cell instead of two. The
+	// diagonal keeps its single Add of d = 2·[M]_{a,a}.
 	affected := 0
 	for a := 0; a < n; a++ {
 		mrow := m.Row(a)
-		orow := s.Row(a)
-		rowDirty := false
-		for b := 0; b < n; b++ {
+		d := mrow[a] + m.At(a, a)
+		if d > ZeroTol || d < -ZeroTol {
+			affected++
+		}
+		// Any exactly non-zero delta dirties the row: deltas inside
+		// (0, ZeroTol] are still added to S, so a tolerance-based test
+		// here would let a cache serve stale bits.
+		if d != 0 {
+			ws.markDirty(a)
+		}
+		s.Add(a, a, d)
+		for b := a + 1; b < n; b++ {
 			d := mrow[b] + m.At(b, a)
 			if d > ZeroTol || d < -ZeroTol {
-				affected++
+				affected += 2 // both ordered entries, as the dense scan counted
 			}
-			// Any exactly non-zero delta dirties the row: deltas inside
-			// (0, ZeroTol] are still added to S, so a tolerance-based test
-			// here would let a cache serve stale bits.
 			if d != 0 {
-				rowDirty = true
+				ws.markDirty(a)
+				ws.markDirty(b)
 			}
-			orow[b] += d
-		}
-		if rowDirty {
-			ws.markDirty(a)
+			s.AddSym(a, b, d)
 		}
 	}
 	ws.vws.reset()

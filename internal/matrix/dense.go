@@ -101,6 +101,41 @@ func (m *Dense) Add(i, j int, v float64) {
 	m.Data[i*m.Cols+j] += v
 }
 
+// N returns the row count — the node count when m is a square similarity
+// matrix. It exists so *Dense satisfies the similarity-store interfaces
+// of internal/core and internal/simstore.
+func (m *Dense) N() int { return m.Rows }
+
+// AddSym applies the symmetric rank-two update v·(e_i·e_jᵀ + e_j·e_iᵀ):
+// element (i, j) and element (j, i) each accumulate v, as two sequential
+// adds — on the diagonal (i == j) the cell is therefore bumped twice,
+// ((x+v)+v), matching the entrywise S += M + Mᵀ write-back of the
+// incremental update algorithms. Symmetric stores can realize the same
+// result with one backing cell.
+func (m *Dense) AddSym(i, j int, v float64) {
+	if boundsChecks {
+		m.checkIndex(i, j)
+		m.checkIndex(j, i)
+	}
+	m.Data[i*m.Cols+j] += v
+	m.Data[j*m.Cols+i] += v
+}
+
+// ColInto copies column j into dst (which must have length Rows), the
+// gather [S]_{·,j} that the incremental updates memoize. For symmetric
+// packed stores the column is served from row storage; the dense layout
+// gathers with stride Cols.
+func (m *Dense) ColInto(dst []float64, j int) {
+	if boundsChecks {
+		if j < 0 || j >= m.Cols {
+			panic(fmt.Sprintf("matrix: column %d out of range %d×%d", j, m.Rows, m.Cols))
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+}
+
 // Row returns the i-th row as a slice aliasing the matrix storage.
 // i must be in [0, Rows): on a non-square matrix an out-of-range i can
 // otherwise slice a window of the wrong rows instead of panicking.

@@ -103,19 +103,31 @@ func (m *CSR) MulVecTo(dst, x []float64) {
 
 // MulVecT returns mᵀ·x without materializing the transpose.
 func (m *CSR) MulVecT(x []float64) []float64 {
-	if len(x) != m.RowsN {
+	out := make([]float64, m.ColsN)
+	m.MulVecTTo(out, x)
+	return out
+}
+
+// MulVecTTo computes mᵀ·x into dst (length ColsN) without materializing
+// the transpose. dst is zeroed first, then accumulated in the same
+// row-major scatter order as MulVecT, so the two are bit-identical —
+// this is the reusable-buffer form that keeps repeated-series callers
+// (batch.SingleSource) at O(n) live memory.
+func (m *CSR) MulVecTTo(dst, x []float64) {
+	if len(x) != m.RowsN || len(dst) != m.ColsN {
 		panic("matrix: CSR MulVecT dimension mismatch")
 	}
-	out := make([]float64, m.ColsN)
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, xi := range x {
 		if xi == 0 {
 			continue
 		}
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			out[m.ColIdx[k]] += m.Val[k] * xi
+			dst[m.ColIdx[k]] += m.Val[k] * xi
 		}
 	}
-	return out
 }
 
 // RowDot returns [m]_{i,·}·x, the inner product of row i with x.

@@ -23,21 +23,30 @@ type Pair struct {
 // O(n²·log k) time and O(k) memory instead of materializing and sorting
 // all pairs.
 func TopKPairs(s *matrix.Dense, k int) []Pair {
+	return TopKPairsUpper(s.Rows, func(a int) []float64 { return s.Row(a)[a:] }, k)
+}
+
+// TopKPairsUpper is TopKPairs over any symmetric store that can expose
+// its upper triangle row by row: upperRow(a)[d] must be s(a, a+d), with
+// d = 0 the (skipped) diagonal. The scan order — a ascending, b = a+1
+// ascending — and therefore the deterministic result is identical to the
+// dense TopKPairs it generalizes; a packed-triangular store serves each
+// upperRow as a zero-copy alias.
+func TopKPairsUpper(n int, upperRow func(a int) []float64, k int) []Pair {
 	if k <= 0 {
 		return nil
 	}
-	n := s.Rows
 	if max := n * (n - 1) / 2; k > max {
 		k = max // at most n(n-1)/2 candidates; don't size the heap to a huge k
 	}
 	h := make(pairHeap, 0, k+1)
 	for a := 0; a < n; a++ {
-		row := s.Row(a)
-		for b := a + 1; b < n; b++ {
-			if row[b] == 0 {
+		row := upperRow(a)
+		for d := 1; d < len(row); d++ {
+			if row[d] == 0 {
 				continue
 			}
-			p := Pair{A: a, B: b, Score: row[b]}
+			p := Pair{A: a, B: a + d, Score: row[d]}
 			if len(h) < k {
 				heap.Push(&h, p)
 				continue

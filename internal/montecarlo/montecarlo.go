@@ -49,41 +49,83 @@ func (s *lockedSource) Seed(seed int64) {
 	s.src.Seed(seed)
 }
 
-// Estimator draws coalescing reverse random walks over a fixed graph to
-// estimate SimRank scores. All query methods are safe for concurrent
-// use; the graph itself must not change underneath (build a new
-// Estimator after updates).
-type Estimator struct {
-	g   *graph.DiGraph
-	c   float64
-	rng *rand.Rand
-	// walkLen caps the walk length (the contribution of a meeting at
-	// step t is C^t, so truncation error ≤ C^{walkLen+1}).
-	walkLen int
-	// ins[v] is the in-neighbor list of v, pre-extracted for O(1)
-	// uniform sampling.
+// Index is the reusable walk substrate: the per-node in-neighbor lists a
+// reverse random walk samples from, pre-extracted once in O(n + m) and
+// shared by every Estimator (and every clone of an approximate store
+// tier) over the same graph snapshot. It is immutable after construction
+// — safe for any number of concurrent estimators — and it is the only
+// O(n + m) state the sampling tier holds, which is what lets the approx
+// backend serve graphs whose n×n similarity matrix could never be
+// materialized.
+type Index struct {
+	n int
+	// ins[v] is the in-neighbor list of v, for O(1) uniform sampling.
 	ins [][]int
 }
 
-// New builds an estimator. walkLen ≤ 0 selects a default that bounds the
-// truncation error below 10⁻³ for the given C.
-func New(g *graph.DiGraph, c float64, walkLen int, seed int64) (*Estimator, error) {
+// NewIndex extracts the walk index of g's current topology.
+func NewIndex(g *graph.DiGraph) *Index {
+	n := g.N()
+	ins := make([][]int, n)
+	for v := 0; v < n; v++ {
+		ins[v] = g.InNeighbors(v)
+	}
+	return &Index{n: n, ins: ins}
+}
+
+// N returns the node count the index was built for.
+func (ix *Index) N() int { return ix.n }
+
+// MemBytes reports the index's approximate resident size: the adjacency
+// payload plus slice headers — O(n + m), never O(n²).
+func (ix *Index) MemBytes() int64 {
+	b := int64(len(ix.ins)) * 24 // slice headers
+	for _, row := range ix.ins {
+		b += int64(len(row)) * 8
+	}
+	return b
+}
+
+// NewEstimator builds an estimator over the shared index. walkLen ≤ 0
+// selects a default that bounds the truncation error below 10⁻³ for the
+// given C. The index is shared, not copied — many estimators (different
+// seeds, different walk budgets) can draw from one index concurrently.
+func (ix *Index) NewEstimator(c float64, walkLen int, seed int64) (*Estimator, error) {
 	if c <= 0 || c >= 1 {
 		return nil, fmt.Errorf("montecarlo: damping factor %v outside (0,1)", c)
 	}
 	if walkLen <= 0 {
 		walkLen = int(math.Ceil(math.Log(1e-3)/math.Log(c))) + 1
 	}
-	ins := make([][]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		ins[v] = g.InNeighbors(v)
-	}
 	return &Estimator{
-		g: g, c: c,
+		idx: ix, c: c,
 		rng:     rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)}),
-		walkLen: walkLen, ins: ins,
+		walkLen: walkLen,
 	}, nil
 }
+
+// Estimator draws coalescing reverse random walks over a fixed graph to
+// estimate SimRank scores. All query methods are safe for concurrent
+// use; the graph itself must not change underneath (build a new
+// Estimator — or Index — after updates).
+type Estimator struct {
+	idx *Index
+	c   float64
+	rng *rand.Rand
+	// walkLen caps the walk length (the contribution of a meeting at
+	// step t is C^t, so truncation error ≤ C^{walkLen+1}).
+	walkLen int
+}
+
+// New builds an estimator together with a private walk index; callers
+// running several estimators over one graph should build the Index once
+// and use Index.NewEstimator instead.
+func New(g *graph.DiGraph, c float64, walkLen int, seed int64) (*Estimator, error) {
+	return NewIndex(g).NewEstimator(c, walkLen, seed)
+}
+
+// Index returns the shared walk index the estimator draws from.
+func (e *Estimator) Index() *Index { return e.idx }
 
 // WalkLen returns the effective walk-length cap.
 func (e *Estimator) WalkLen() int { return e.walkLen }
@@ -97,7 +139,7 @@ func (e *Estimator) meet(a, b int) int {
 	}
 	x, y := a, b
 	for t := 1; t <= e.walkLen; t++ {
-		ix, iy := e.ins[x], e.ins[y]
+		ix, iy := e.idx.ins[x], e.idx.ins[y]
 		if len(ix) == 0 || len(iy) == 0 {
 			return -1
 		}
@@ -160,8 +202,8 @@ func (e *Estimator) PairStderr(a, b int, walks int) (est, stderr float64) {
 // SingleSource estimates s(a, v) for every v with the given walk budget
 // per pair (the single-source query of [10]).
 func (e *Estimator) SingleSource(a int, walks int) []float64 {
-	out := make([]float64, e.g.N())
-	for v := 0; v < e.g.N(); v++ {
+	out := make([]float64, e.idx.n)
+	for v := 0; v < e.idx.n; v++ {
 		out[v] = e.Pair(a, v, walks)
 	}
 	return out
@@ -181,7 +223,7 @@ func (e *Estimator) TopK(a, k, walks, refineFactor int) []Scored {
 	if refineFactor < 1 {
 		refineFactor = 1
 	}
-	n := e.g.N()
+	n := e.idx.n
 	cands := make([]Scored, 0, n-1)
 	for v := 0; v < n; v++ {
 		if v == a {

@@ -62,7 +62,8 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SimilarityResponse{A: a, B: b, Score: s.eng.Similarity(a, b)})
+	score, stderr := s.eng.SimilarityStderr(a, b)
+	writeJSON(w, http.StatusOK, SimilarityResponse{A: a, B: b, Score: score, Stderr: stderr})
 }
 
 // maxTopK caps the k accepted by the top-k endpoints: metrics.TopKPairs
@@ -74,8 +75,15 @@ func clampTopK(k, pairs int) int {
 	return min(k, pairs, maxTopK)
 }
 
-// GET /topk?k=10 — the k most similar pairs globally.
+// GET /topk?k=10 — the k most similar pairs globally. The approx
+// backend has no materialized matrix to scan, so the endpoint answers
+// 501 there (use /topkfor per node, which samples).
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if s.eng.Backend() == simrank.BackendApprox {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("global top-k requires an exact backend; the approx tier serves per-node /topkfor"))
+		return
+	}
 	k, err := intParam(r, "k", 10)
 	if err != nil || k < 1 {
 		writeError(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
@@ -122,6 +130,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // and answers 200 (or 409 if the engine rejected the update, e.g. an
 // insert of an edge that already exists).
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkWritable(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		status := http.StatusBadRequest
@@ -154,7 +166,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			status := http.StatusInternalServerError
 			var bad *core.ErrBadUpdate
-			if errors.As(err, &bad) {
+			if errors.As(err, &bad) || errors.Is(err, simrank.ErrReadOnlyBackend) {
 				status = http.StatusConflict
 			}
 			writeError(w, status, err)
@@ -187,6 +199,10 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 // before this call may still be rejected. The supported pattern is the
 // other direction — POST /nodes, then write to the returned ids.
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkWritable(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
 	var req NodesRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -89,11 +89,14 @@ func toPairJSON(ps []simrank.Pair) []PairJSON {
 	return out
 }
 
-// SimilarityResponse answers GET /similarity.
+// SimilarityResponse answers GET /similarity. Stderr is the sampling
+// standard error of the score on the approx backend (|true − score| ≤
+// 3·stderr with ≈99% confidence); exact backends omit it.
 type SimilarityResponse struct {
-	A     int     `json:"a"`
-	B     int     `json:"b"`
-	Score float64 `json:"score"`
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	Score  float64 `json:"score"`
+	Stderr float64 `json:"stderr,omitempty"`
 }
 
 // TopKResponse answers GET /topk and GET /topkfor.
@@ -129,6 +132,12 @@ type SnapshotResponse struct {
 type StatsResponse struct {
 	Nodes int `json:"nodes"`
 	Edges int `json:"edges"`
+
+	// Backend names the similarity store serving this engine (dense,
+	// packed or approx); StoreBytes is its resident size — the number an
+	// operator watches when deciding which tier a graph belongs on.
+	Backend    string `json:"backend"`
+	StoreBytes int64  `json:"store_bytes"`
 
 	UpdatesEnqueued int64 `json:"updates_enqueued"`
 	UpdatesApplied  int64 `json:"updates_applied"`

@@ -1,0 +1,149 @@
+package simstore
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/montecarlo"
+)
+
+// Approx is the sampling tier: no materialized S at all. Queries are
+// answered by coalescing reverse random walks over a shared reusable
+// walk index (montecarlo.Index, O(n + m) memory, built once and shared
+// by every estimator and clone), with per-answer standard errors
+// available through the Sampler interface. This is the backend for
+// graphs where O(n²) exact storage is infeasible — the paper's own
+// fallback regime for large n.
+//
+// The store is read-only: the exact incremental-update machinery has no
+// matrix to fold deltas into, so every mutation panics (the engine
+// rejects writes with ErrReadOnly long before reaching the store).
+//
+// Scores are the *iterative-form* SimRank estimates (s(a,a) = 1) the
+// estimator targets, truncated at walkLen steps — pick walkLen = K to
+// mirror an exact engine's K-iteration truncation.
+type Approx struct {
+	idx   *montecarlo.Index
+	est   *montecarlo.Estimator
+	walks int
+	seed  int64
+	// refineFactor multiplies the walk budget on the provisional top-2k
+	// candidates of a TopKRow query.
+	refineFactor int
+}
+
+// DefaultRefineFactor is the top-k refinement multiplier (see
+// montecarlo.Estimator.TopK).
+const DefaultRefineFactor = 4
+
+// MaxWalks bounds the per-pair walk budget everywhere it is accepted —
+// engine options, store construction and snapshot restore share this
+// one constant, so a budget a running engine accepts is always a budget
+// its snapshot can restore (and it fits a snapshot's uint32 field).
+const MaxWalks = 1 << 20
+
+// NewApprox builds a sampling store over g's current topology: c is the
+// damping factor, walkLen the walk cap (use the exact engines' K),
+// walks the per-pair walk budget, seed the deterministic RNG seed.
+func NewApprox(g *graph.DiGraph, c float64, walkLen, walks int, seed int64) (*Approx, error) {
+	if walks <= 0 || walks > MaxWalks {
+		return nil, fmt.Errorf("simstore: approx walk budget %d outside (0, %d]", walks, MaxWalks)
+	}
+	idx := montecarlo.NewIndex(g)
+	est, err := idx.NewEstimator(c, walkLen, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Approx{idx: idx, est: est, walks: walks, seed: seed, refineFactor: DefaultRefineFactor}, nil
+}
+
+// Walks returns the per-pair walk budget (persisted in snapshots).
+func (a *Approx) Walks() int { return a.walks }
+
+// Seed returns the RNG seed the estimator was built with (persisted in
+// snapshots; a restored store replays the same walk sequence from the
+// start).
+func (a *Approx) Seed() int64 { return a.seed }
+
+// Estimator exposes the underlying estimator (tests, diagnostics).
+func (a *Approx) Estimator() *montecarlo.Estimator { return a.est }
+
+// N returns the node count.
+func (a *Approx) N() int { return a.idx.N() }
+
+// At estimates s(i, j) with the store's walk budget. Safe for
+// concurrent readers (the estimator's RNG is locked); deterministic only
+// under a sequential fixed-seed run.
+func (a *Approx) At(i, j int) float64 { return a.est.Pair(i, j, a.walks) }
+
+func (a *Approx) readOnly() string {
+	return "simstore: " + ErrReadOnly.Error() + " (engine guards must reject writes first)"
+}
+
+// Set panics: the sampling tier is read-only.
+func (a *Approx) Set(i, j int, v float64) { panic(a.readOnly()) }
+
+// Add panics: the sampling tier is read-only.
+func (a *Approx) Add(i, j int, v float64) { panic(a.readOnly()) }
+
+// AddSym panics: the sampling tier is read-only.
+func (a *Approx) AddSym(i, j int, v float64) { panic(a.readOnly()) }
+
+// Row estimates the full row s(i, ·) — O(n·walks·walkLen) walk steps —
+// into a fresh slice.
+func (a *Approx) Row(i int) []float64 { return a.est.SingleSource(i, a.walks) }
+
+// ConcurrentRow is Row: every call samples into its own slice.
+func (a *Approx) ConcurrentRow(i int) []float64 { return a.Row(i) }
+
+// UpperRow panics: a global O(n²) scan is exactly what the sampling tier
+// exists to avoid (the engine answers global top-k as unavailable).
+func (a *Approx) UpperRow(int) []float64 {
+	panic("simstore: approx backend has no materialized triangle to scan")
+}
+
+// ColInto estimates column j (= row j by symmetry) into dst.
+func (a *Approx) ColInto(dst []float64, j int) { copy(dst, a.Row(j)) }
+
+// Clone returns the store itself: the index is immutable and the
+// estimator is safe for concurrent use, so there is nothing to copy.
+func (a *Approx) Clone() Store { return a }
+
+// ToDense returns nil: materializing n² estimates is the workload this
+// backend exists to refuse.
+func (a *Approx) ToDense() *matrix.Dense { return nil }
+
+// AddNodes panics: the sampling tier is read-only (rebuild the store
+// over the grown graph instead).
+func (a *Approx) AddNodes(count int, diag float64) Store { panic(a.readOnly()) }
+
+// MemBytes reports the shared walk index's O(n + m) footprint.
+func (a *Approx) MemBytes() int64 { return a.idx.MemBytes() }
+
+// Backend names the implementation.
+func (a *Approx) Backend() Backend { return BackendApprox }
+
+// TopKRow estimates the k nodes most similar to node q via the two-pass
+// refinement of montecarlo.Estimator.TopK, mapped to the engine's Pair
+// shape.
+func (a *Approx) TopKRow(q, k int) []metrics.Pair {
+	scored := a.est.TopK(q, k, a.walks, a.refineFactor)
+	out := make([]metrics.Pair, 0, len(scored))
+	for _, s := range scored {
+		// The refinement pass re-estimates each provisional candidate and
+		// can land on 0 (no meeting in the bigger budget); a zero-score
+		// "similar node" is noise, not an answer — drop it, matching the
+		// exact backends' skip of zero entries.
+		if s.Score > 0 {
+			out = append(out, metrics.Pair{A: q, B: s.Node, Score: s.Score})
+		}
+	}
+	return out
+}
+
+// PairStderr estimates s(a, b) together with its standard error.
+func (a *Approx) PairStderr(i, j int) (est, stderr float64) {
+	return a.est.PairStderr(i, j, a.walks)
+}

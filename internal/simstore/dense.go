@@ -1,0 +1,84 @@
+package simstore
+
+import "repro/internal/matrix"
+
+// Dense is the classic backend: a row-major n×n matrix.Dense. Every
+// operation delegates straight to the matrix, so an engine on this store
+// is bit-identical (values and allocation profile) to the pre-interface
+// engine that held the matrix directly.
+type Dense struct {
+	m *matrix.Dense
+}
+
+// NewDense returns a zeroed n×n dense store.
+func NewDense(n int) *Dense { return &Dense{m: matrix.NewDense(n, n)} }
+
+// WrapDense adopts an existing square matrix (snapshot restore, tests).
+func WrapDense(m *matrix.Dense) *Dense {
+	if m.Rows != m.Cols {
+		panic("simstore: dense store requires a square matrix")
+	}
+	return &Dense{m: m}
+}
+
+// Matrix exposes the backing matrix: the batch kernel writes its
+// ping-pong iterations directly into it, and snapshots serialize it.
+func (d *Dense) Matrix() *matrix.Dense { return d.m }
+
+// N returns the node count.
+func (d *Dense) N() int { return d.m.Rows }
+
+// At returns s(i, j).
+func (d *Dense) At(i, j int) float64 { return d.m.At(i, j) }
+
+// Set writes entry (i, j) only — the dense layout stores both triangles.
+func (d *Dense) Set(i, j int, v float64) { d.m.Set(i, j, v) }
+
+// Add accumulates v into entry (i, j).
+func (d *Dense) Add(i, j int, v float64) { d.m.Add(i, j, v) }
+
+// AddSym accumulates v into (i, j) and (j, i); see matrix.Dense.AddSym.
+func (d *Dense) AddSym(i, j int, v float64) { d.m.AddSym(i, j, v) }
+
+// Row returns row i aliasing the matrix storage (no scratch involved, so
+// for this backend the view stays valid across calls).
+func (d *Dense) Row(i int) []float64 { return d.m.Row(i) }
+
+// ConcurrentRow is Row: the alias is immutable under the engine's read
+// lock, so concurrent readers share it safely.
+func (d *Dense) ConcurrentRow(i int) []float64 { return d.m.Row(i) }
+
+// UpperRow returns the suffix (a, a), …, (a, n−1) of row a, aliasing
+// storage.
+func (d *Dense) UpperRow(a int) []float64 { return d.m.Row(a)[a:] }
+
+// ColInto copies column j into dst.
+func (d *Dense) ColInto(dst []float64, j int) { d.m.ColInto(dst, j) }
+
+// Clone returns an independent deep copy.
+func (d *Dense) Clone() Store { return &Dense{m: d.m.Clone()} }
+
+// ToDense returns an independent dense copy of S.
+func (d *Dense) ToDense() *matrix.Dense { return d.m.Clone() }
+
+// AddNodes returns a dense store over n+count nodes: old rows copied
+// into the top-left block, new diagonal entries set to diag — exactly
+// the fixed-point extension the engine's AddNodes always performed.
+func (d *Dense) AddNodes(count int, diag float64) Store {
+	oldN := d.m.Rows
+	n := oldN + count
+	next := matrix.NewDense(n, n)
+	for r := 0; r < oldN; r++ {
+		copy(next.Row(r)[:oldN], d.m.Row(r))
+	}
+	for v := oldN; v < n; v++ {
+		next.Set(v, v, diag)
+	}
+	return &Dense{m: next}
+}
+
+// MemBytes reports the 8n² backing payload.
+func (d *Dense) MemBytes() int64 { return int64(len(d.m.Data)) * 8 }
+
+// Backend names the implementation.
+func (d *Dense) Backend() Backend { return BackendDense }

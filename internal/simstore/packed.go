@@ -1,0 +1,163 @@
+package simstore
+
+import "repro/internal/matrix"
+
+// Packed stores the symmetric S in upper-triangular row-major packed
+// form: entry (i, j) with i ≤ j lives at start[i] + (j − i), for
+// n(n+1)/2 float64s total — 8·n(n+1)/2 bytes, just over half the dense
+// layout's 8n². Both mirror entries of a pair share one cell, so the
+// symmetric write-backs of Inc-SR/Inc-uSR (AddSym) touch half the
+// memory, and the store halves the serving footprint of every exact
+// engine.
+//
+// Row materializes into a single reusable scratch buffer (allocated at
+// construction), preserving the warm-Apply zero-allocation guarantee;
+// concurrent readers must use ConcurrentRow/UpperRow/At, which never
+// touch the scratch.
+type Packed struct {
+	n     int
+	start []int     // start[i] = packed offset of (i, i)
+	data  []float64 // len n(n+1)/2, upper triangle row-major
+	row   []float64 // scratch for Row (single-writer contract)
+}
+
+// NewPacked returns a zeroed n-node packed store.
+func NewPacked(n int) *Packed {
+	if n < 0 {
+		panic("simstore: negative node count")
+	}
+	p := &Packed{
+		n:     n,
+		start: make([]int, n),
+		data:  make([]float64, n*(n+1)/2),
+		row:   make([]float64, n),
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		p.start[i] = off
+		off += n - i
+	}
+	return p
+}
+
+// idx maps (i, j) to its packed offset, folding the lower triangle onto
+// the upper one.
+func (p *Packed) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return p.start[i] + j - i
+}
+
+// N returns the node count.
+func (p *Packed) N() int { return p.n }
+
+// At returns s(i, j) — pure index arithmetic, safe for concurrent
+// readers.
+func (p *Packed) At(i, j int) float64 { return p.data[p.idx(i, j)] }
+
+// Set writes the shared cell of the unordered pair {i, j}.
+func (p *Packed) Set(i, j int, v float64) { p.data[p.idx(i, j)] = v }
+
+// Add accumulates v into the shared cell of {i, j}.
+func (p *Packed) Add(i, j int, v float64) { p.data[p.idx(i, j)] += v }
+
+// AddSym applies v·(e_i·e_jᵀ + e_j·e_iᵀ). Off-diagonal the two mirror
+// entries are one packed cell, which accumulates v once; the diagonal is
+// bumped twice (two sequential adds), matching the dense layout's
+// ((x+v)+v) bit for bit.
+func (p *Packed) AddSym(i, j int, v float64) {
+	k := p.idx(i, j)
+	p.data[k] += v
+	if i == j {
+		p.data[k] += v
+	}
+}
+
+// rowInto materializes row i into dst: the prefix j < i gathers the
+// column stored in earlier rows' cells, the suffix j ≥ i is the
+// contiguous packed segment.
+func (p *Packed) rowInto(dst []float64, i int) {
+	for j := 0; j < i; j++ {
+		dst[j] = p.data[p.start[j]+i-j]
+	}
+	copy(dst[i:], p.data[p.start[i]:p.start[i]+p.n-i])
+}
+
+// Row materializes row i into the store's scratch buffer. The view is
+// valid until the next Row/ColInto call — the single-writer contract of
+// core.SimStore — and allocates nothing.
+func (p *Packed) Row(i int) []float64 {
+	p.rowInto(p.row, i)
+	return p.row
+}
+
+// ConcurrentRow materializes row i into a fresh slice, safe under
+// concurrent readers (one O(n) copy per cold query row is the packed
+// backend's read-path trade).
+func (p *Packed) ConcurrentRow(i int) []float64 {
+	out := make([]float64, p.n)
+	p.rowInto(out, i)
+	return out
+}
+
+// UpperRow returns the packed segment (a, a), …, (a, n−1) aliasing
+// storage: race-free and copy-free, the global top-k scan shape.
+func (p *Packed) UpperRow(a int) []float64 {
+	return p.data[p.start[a] : p.start[a]+p.n-a]
+}
+
+// ColInto copies column j into dst — by symmetry, row j.
+func (p *Packed) ColInto(dst []float64, j int) { p.rowInto(dst, j) }
+
+// Clone returns an independent deep copy.
+func (p *Packed) Clone() Store {
+	c := NewPacked(p.n)
+	copy(c.data, p.data)
+	return c
+}
+
+// ToDense materializes the full symmetric matrix.
+func (p *Packed) ToDense() *matrix.Dense {
+	d := matrix.NewDense(p.n, p.n)
+	for i := 0; i < p.n; i++ {
+		p.rowInto(d.Row(i), i)
+	}
+	return d
+}
+
+// SetFromDense overwrites the store with src's upper triangle (src must
+// be n×n; the batch kernel's output is symmetric up to rounding, and the
+// packed store canonicalizes on the upper entries).
+func (p *Packed) SetFromDense(src *matrix.Dense) {
+	if src.Rows != p.n || src.Cols != p.n {
+		panic("simstore: SetFromDense dimension mismatch")
+	}
+	for i := 0; i < p.n; i++ {
+		copy(p.data[p.start[i]:p.start[i]+p.n-i], src.Row(i)[i:])
+	}
+}
+
+// AddNodes returns a packed store over n+count nodes: each old row's
+// packed segment is copied into the prefix of its new (longer) segment,
+// new diagonals get diag.
+func (p *Packed) AddNodes(count int, diag float64) Store {
+	next := NewPacked(p.n + count)
+	for i := 0; i < p.n; i++ {
+		copy(next.data[next.start[i]:next.start[i]+p.n-i],
+			p.data[p.start[i]:p.start[i]+p.n-i])
+	}
+	for v := p.n; v < next.n; v++ {
+		next.data[next.start[v]] = diag
+	}
+	return next
+}
+
+// MemBytes reports the packed payload plus the offset table and row
+// scratch — ≈ 4n² + 16n bytes, about half of dense.
+func (p *Packed) MemBytes() int64 {
+	return int64(len(p.data))*8 + int64(len(p.start))*8 + int64(len(p.row))*8
+}
+
+// Backend names the implementation.
+func (p *Packed) Backend() Backend { return BackendPacked }

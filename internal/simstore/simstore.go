@@ -1,0 +1,141 @@
+// Package simstore provides the pluggable similarity-store backends the
+// engine keeps its SimRank matrix S in. The store is the memory wall of
+// the whole system — S is Θ(n²) output — so the backend choice decides
+// which graphs are servable at all:
+//
+//   - dense:  the classic row-major n×n float64 matrix (8n² bytes), the
+//     bit-exact baseline every other backend is measured against;
+//   - packed: symmetric upper-triangular storage (8·n(n+1)/2 ≈ 4n²
+//     bytes) — SimRank's S is symmetric, so the dense layout stores every
+//     off-diagonal score twice; packed halves that while keeping the
+//     exact incremental-update machinery (every write flows through the
+//     symmetric AddSym, landing on one backing cell);
+//   - approx: no materialized S at all — a Monte-Carlo sampling tier
+//     over a shared reusable walk index (internal/montecarlo), O(n + m)
+//     memory, answering queries by coalescing reverse random walks with
+//     a reported standard error. The exact-update machinery is bypassed:
+//     the backend is read-only (see ErrReadOnly).
+//
+// The exact stores (dense, packed) satisfy internal/core.SimStore, so
+// Inc-SR/Inc-uSR run unmodified against either; the approx store panics
+// on mutation, which the engine guards long before.
+package simstore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// Backend names a similarity-store implementation.
+type Backend string
+
+const (
+	// BackendDense is the n×n row-major float64 store (8n² bytes).
+	BackendDense Backend = "dense"
+	// BackendPacked is the symmetric upper-triangular store (≈4n² bytes).
+	BackendPacked Backend = "packed"
+	// BackendApprox is the Monte-Carlo sampling tier (O(n+m) bytes,
+	// read-only).
+	BackendApprox Backend = "approx"
+)
+
+// ParseBackend validates a backend name ("" selects dense), the single
+// parser behind Options.Backend and the simrankd -backend flag.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "", BackendDense:
+		return BackendDense, nil
+	case BackendPacked:
+		return BackendPacked, nil
+	case BackendApprox:
+		return BackendApprox, nil
+	}
+	return "", fmt.Errorf("simstore: unknown backend %q (want dense, packed or approx)", s)
+}
+
+// ErrReadOnly is returned (wrapped) by every mutation attempted on the
+// approx backend: the sampling tier has no materialized S to update.
+var ErrReadOnly = errors.New("approx backend is read-only")
+
+// Store is a similarity matrix S behind an interface, so the engine, the
+// batch kernel, snapshots and the HTTP server are all backend-agnostic.
+// Every store is square (n×n) and logically symmetric.
+//
+// Concurrency: At, ConcurrentRow and UpperRow are safe for concurrent
+// readers (the engine's query paths run under a shared read lock). Row
+// and ColInto may use store-internal scratch — they belong to the
+// single-writer update path, and a returned row view is valid only until
+// the next Row/ColInto call or mutation. All mutations require exclusive
+// access.
+type Store interface {
+	// N returns the node count.
+	N() int
+	// At returns s(i, j). On the approx backend this is a sampling
+	// estimate (deterministic only under a sequential, fixed-seed run).
+	At(i, j int) float64
+	// Set writes entry (i, j); symmetric layouts alias the mirror entry.
+	Set(i, j int, v float64)
+	// Add accumulates v into entry (i, j).
+	Add(i, j int, v float64)
+	// AddSym applies v·(e_i·e_jᵀ + e_j·e_iᵀ): both mirror entries
+	// accumulate v (the diagonal twice) — the one mutation shape of the
+	// incremental write-backs; see core.SimStore.
+	AddSym(i, j int, v float64)
+	// Row returns row i as a view that may alias internal scratch (see
+	// the concurrency note above).
+	Row(i int) []float64
+	// ConcurrentRow returns row i in a form safe under concurrent
+	// readers: an immutable alias (dense) or a fresh copy (packed,
+	// approx).
+	ConcurrentRow(i int) []float64
+	// UpperRow returns the entries (a, a), (a, a+1), …, (a, n−1) as a
+	// race-free alias of backing storage — the global top-k scan shape.
+	// Exact stores only; the approx store panics.
+	UpperRow(a int) []float64
+	// ColInto copies column j into dst (single-writer path; symmetric
+	// layouts serve it from row storage).
+	ColInto(dst []float64, j int)
+	// Clone returns an independent deep copy (the immutable approx store
+	// returns itself).
+	Clone() Store
+	// ToDense materializes the full matrix, or nil when that is the
+	// point of the backend not to (approx).
+	ToDense() *matrix.Dense
+	// AddNodes returns a store over n+count nodes: old scores preserved,
+	// new rows zero except s(v, v) = diag. Panics on the approx backend.
+	AddNodes(count int, diag float64) Store
+	// MemBytes reports the store's resident size in bytes — the
+	// /stats "store_bytes" figure.
+	MemBytes() int64
+	// Backend names the implementation.
+	Backend() Backend
+}
+
+// Sampler is the optional query surface of sampling backends: top-k by
+// estimation with refinement, and per-pair standard errors. The engine
+// routes queries through it when the store provides it.
+type Sampler interface {
+	// TopKRow estimates the k nodes most similar to a, highest first.
+	TopKRow(a, k int) []metrics.Pair
+	// PairStderr estimates s(a, b) together with the standard error of
+	// the estimate.
+	PairStderr(a, b int) (est, stderr float64)
+}
+
+// New constructs an empty (all-zero) exact store of the given backend.
+// The approx backend is graph-backed and has its own constructor
+// (NewApprox); requesting it here is an error.
+func New(b Backend, n int) (Store, error) {
+	switch b {
+	case "", BackendDense:
+		return NewDense(n), nil
+	case BackendPacked:
+		return NewPacked(n), nil
+	case BackendApprox:
+		return nil, errors.New("simstore: approx stores are built from a graph; use NewApprox")
+	}
+	return nil, fmt.Errorf("simstore: unknown backend %q", b)
+}

@@ -48,8 +48,10 @@ func TestPipelineEquivalenceRandomStreams(t *testing.T) {
 			// K = 60 pushes the iterative truncation error C^{K+1} ≈ 3e-14
 			// below the 1e-12 gate, so any residual difference is a real
 			// divergence between the incremental and batch paths, not
-			// truncation noise.
-			opts := Options{K: 60, DisablePruning: disablePruning, Workers: workers}
+			// truncation noise. The backend comes from the suite's
+			// SIMRANK_BACKEND hook (dense by default), so CI's matrix entry
+			// replays the whole property against the packed store.
+			opts := withTestBackend(t, Options{K: 60, DisablePruning: disablePruning, Workers: workers})
 			name := fmt.Sprintf("pruning=%v/workers=%d", !disablePruning, workers)
 			t.Run(name, func(t *testing.T) {
 				rng := rand.New(rand.NewSource(int64(workers)*100 + int64(len(name))))

@@ -12,23 +12,44 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/matrix"
+	"repro/internal/simstore"
 )
 
 // Snapshot format: a small length-prefixed binary layout with a CRC32
 // trailer, so a long-lived engine (hours of folded updates) can be
 // persisted and restored without recomputing the O(Kd'n²) batch step.
+// The header is versioned per similarity-store backend:
 //
-//	magic "SIMR" | version u32 | C f64 | K u32 | flags u32 |
+// Version 1 — the dense backend, unchanged since the first release (old
+// files restore forever):
+//
+//	magic "SIMR" | version=1 u32 | C f64 | K u32 | flags u32 |
 //	n u32 | m u32 | m × (from u32, to u32) |
 //	n² × f64 (row-major S) | crc32(IEEE) of everything above
+//
+// Version 2 — non-dense backends gain a backend id after the flags and a
+// backend-specific payload after the edges:
+//
+//	magic "SIMR" | version=2 u32 | C f64 | K u32 | flags u32 |
+//	backend u32 | n u32 | m u32 | m × (from u32, to u32) |
+//	payload | crc32(IEEE)
+//
+//	backend 1 (packed): payload = n(n+1)/2 × f64, the upper triangle
+//	  row-major — the file is ~half a dense snapshot, like the store.
+//	backend 2 (approx): payload = walks u32 | seed u64; there is no
+//	  matrix — the store is rebuilt from the graph on restore.
 const (
-	snapshotMagic   = "SIMR"
-	snapshotVersion = 1
-	flagNoPruning   = 1 << 0
+	snapshotMagic    = "SIMR"
+	snapshotVersion  = 1
+	snapshotVersion2 = 2
+	flagNoPruning    = 1 << 0
+
+	backendCodePacked = 1
+	backendCodeApprox = 2
 )
 
 // WriteSnapshot serializes the engine's graph, options and similarity
-// matrix to w.
+// store to w, in the version its backend calls for.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
@@ -46,9 +67,16 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		math.Float64bits(e.opts.C),
 		uint32(e.opts.K),
 		flags,
-		uint32(n),
-		uint32(m),
 	}
+	if e.opts.Backend != BackendDense {
+		hdr[0] = uint32(snapshotVersion2)
+		code := uint32(backendCodePacked)
+		if e.opts.Backend == BackendApprox {
+			code = backendCodeApprox
+		}
+		hdr = append(hdr, code)
+	}
+	hdr = append(hdr, uint32(n), uint32(m))
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("simrank: snapshot header: %w", err)
@@ -62,12 +90,8 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 	}
-	buf := make([]byte, 8)
-	for _, v := range e.s.Data {
-		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
-		if _, err := bw.Write(buf); err != nil {
-			return err
-		}
+	if err := e.writeStorePayload(bw); err != nil {
+		return err
 	}
 	// Flush the payload so the CRC covers exactly the payload bytes, then
 	// append the (unhashed) trailer.
@@ -75,6 +99,40 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// writeStorePayload emits the backend-specific tail of the snapshot.
+func (e *Engine) writeStorePayload(bw *bufio.Writer) error {
+	writeFloats := func(vals []float64) error {
+		var buf [8]byte
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch s := e.s.(type) {
+	case *simstore.Dense:
+		return writeFloats(s.Matrix().Data)
+	case *simstore.Packed:
+		// The packed backing slice is exactly the upper triangle in the
+		// payload's row-major order.
+		n := s.N()
+		for i := 0; i < n; i++ {
+			if err := writeFloats(s.UpperRow(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *simstore.Approx:
+		if err := binary.Write(bw, binary.LittleEndian, uint32(s.Walks())); err != nil {
+			return err
+		}
+		return binary.Write(bw, binary.LittleEndian, uint64(s.Seed()))
+	}
+	return fmt.Errorf("simrank: snapshot: unknown store type %T", e.s)
 }
 
 // ReadSnapshot restores an engine previously written by WriteSnapshot.
@@ -113,13 +171,33 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 		version, k, flags, n, m uint32
 		cBits                   uint64
 	)
-	for _, p := range []any{&version, &cBits, &k, &flags, &n, &m} {
+	for _, p := range []any{&version, &cBits, &k, &flags} {
 		if err := binary.Read(tee, binary.LittleEndian, p); err != nil {
 			return nil, fmt.Errorf("simrank: snapshot header: %w", err)
 		}
 	}
-	if version != snapshotVersion {
+	if version != snapshotVersion && version != snapshotVersion2 {
 		return nil, fmt.Errorf("simrank: unsupported snapshot version %d", version)
+	}
+	backend := BackendDense
+	if version == snapshotVersion2 {
+		var code uint32
+		if err := binary.Read(tee, binary.LittleEndian, &code); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot header: %w", err)
+		}
+		switch code {
+		case backendCodePacked:
+			backend = BackendPacked
+		case backendCodeApprox:
+			backend = BackendApprox
+		default:
+			return nil, fmt.Errorf("simrank: snapshot names unknown backend code %d", code)
+		}
+	}
+	for _, p := range []any{&n, &m} {
+		if err := binary.Read(tee, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot header: %w", err)
+		}
 	}
 	c := math.Float64frombits(cBits)
 	if c <= 0 || c >= 1 || k < 1 {
@@ -146,20 +224,46 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 		}
 		edges = append(edges, graph.Edge{From: int(from), To: int(to)})
 	}
-	total := int(n) * int(n)
-	vals := make([]float64, 0, min(total, chunk))
-	buf := make([]byte, 8*chunk)
-	for len(vals) < total {
-		want := min(total-len(vals), chunk)
-		if _, err := io.ReadFull(tee, buf[:8*want]); err != nil {
-			return nil, fmt.Errorf("simrank: snapshot matrix: %w", err)
+	// The store payload, still parsed into input-bounded buffers.
+	var (
+		vals         []float64
+		approxWalks  uint32
+		approxSeed   uint64
+		payloadTotal int
+	)
+	switch backend {
+	case BackendDense:
+		payloadTotal = int(n) * int(n)
+	case BackendPacked:
+		payloadTotal = int(n) * (int(n) + 1) / 2
+	}
+	if backend == BackendApprox {
+		if err := binary.Read(tee, binary.LittleEndian, &approxWalks); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot approx params: %w", err)
 		}
-		for i := 0; i < want; i++ {
-			v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("simrank: snapshot matrix entry %d is %v", len(vals), v)
+		if err := binary.Read(tee, binary.LittleEndian, &approxSeed); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot approx params: %w", err)
+		}
+		// The same bound construction enforces, so every persisted budget
+		// restores.
+		if approxWalks == 0 || approxWalks > simstore.MaxWalks {
+			return nil, fmt.Errorf("simrank: snapshot approx walk budget %d implausible", approxWalks)
+		}
+	} else {
+		vals = make([]float64, 0, min(payloadTotal, chunk))
+		buf := make([]byte, 8*chunk)
+		for len(vals) < payloadTotal {
+			want := min(payloadTotal-len(vals), chunk)
+			if _, err := io.ReadFull(tee, buf[:8*want]); err != nil {
+				return nil, fmt.Errorf("simrank: snapshot matrix: %w", err)
 			}
-			vals = append(vals, v)
+			for i := 0; i < want; i++ {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("simrank: snapshot matrix entry %d is %v", len(vals), v)
+				}
+				vals = append(vals, v)
+			}
 		}
 	}
 	want := crc.Sum32() // payload fully consumed; trailer not yet read
@@ -170,7 +274,7 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 	if got != want {
 		return nil, fmt.Errorf("simrank: snapshot checksum mismatch (corrupt or truncated)")
 	}
-	// Payload verified: now the O(n) structures are justified by the ≥ 8n²
+	// Payload verified: now the O(n) structures are justified by the
 	// payload bytes that actually arrived.
 	g := graph.New(int(n))
 	for _, e := range edges {
@@ -178,9 +282,29 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 			return nil, fmt.Errorf("simrank: snapshot duplicate edge %d→%d", e.From, e.To)
 		}
 	}
-	s := &matrix.Dense{Rows: int(n), Cols: int(n), Data: vals}
-	opts := Options{C: c, K: int(k), DisablePruning: flags&flagNoPruning != 0}.withDefaults()
-	return &Engine{opts: opts, g: g, s: s}, nil
+	opts := Options{C: c, K: int(k), DisablePruning: flags&flagNoPruning != 0, Backend: backend}
+	var store simstore.Store
+	switch backend {
+	case BackendDense:
+		store = simstore.WrapDense(&matrix.Dense{Rows: int(n), Cols: int(n), Data: vals})
+	case BackendPacked:
+		p := simstore.NewPacked(int(n))
+		for i, row := 0, 0; row < int(n); row++ {
+			seg := p.UpperRow(row)
+			copy(seg, vals[i:i+len(seg)])
+			i += len(seg)
+		}
+		store = p
+	case BackendApprox:
+		opts.ApproxWalks = int(approxWalks)
+		opts.ApproxSeed = int64(approxSeed)
+		a, err := simstore.NewApprox(g, c, int(k), opts.ApproxWalks, opts.ApproxSeed)
+		if err != nil {
+			return nil, fmt.Errorf("simrank: snapshot approx store: %w", err)
+		}
+		store = a
+	}
+	return &Engine{opts: opts.withDefaults(), g: g, s: store}, nil
 }
 
 // SnapshotWriter is anything that can serialize itself in the snapshot
