@@ -1,9 +1,15 @@
 // Command simrankd serves a live SimRank engine over HTTP/JSON: query
-// endpoints (GET /similarity, /topk, /topkfor, /stats) answered off the
-// engine's read lock, and a write path (POST /updates) that coalesces
-// bursts of link updates into one batched write-lock acquisition per
-// drain cycle. See internal/server for the endpoint and coalescing
-// semantics.
+// endpoints (GET /similarity, /topk, /topkfor, /stats) answered
+// lock-free off the engine's published MVCC read views — read latency
+// independent of write activity — and a write path (POST /updates) that
+// coalesces bursts of link updates into one batched commit + view
+// publish per drain cycle. See internal/server for the endpoint and
+// coalescing semantics.
+//
+// The listener binds before the engine boots: GET /healthz is pure
+// liveness, GET /readyz answers 503 until -restore (or the initial
+// batch computation) completes and the first view is published, then
+// 200 with the serving epoch — point load balancers at /readyz.
 //
 // Usage:
 //
@@ -92,11 +98,32 @@ func run() error {
 	if _, err := simrank.ParseBackend(*backend); err != nil {
 		return err
 	}
+
+	// Bind the listener before booting the engine: a -restore replay or
+	// a large initial batch computation can take a while, and during it
+	// the process must answer /healthz (alive) while /readyz holds
+	// traffic off. Every query endpoint answers 503 until the engine
+	// attaches with its first view published.
+	srv := server.NewPending(server.Config{
+		SnapshotPath: *snapshot,
+		QueueSize:    *queue,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *window,
+		MaxNodes:     *maxNodes,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("simrankd: listening on %s (booting; watch /readyz)\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
 	eng, err := bootEngine(*restore, *graphPth, *nodes, simrank.Options{
 		C: *c, K: *k, DisablePruning: *noPrune, Workers: *workers,
 		Backend: simrank.Backend(*backend), ApproxWalks: *walks, ApproxSeed: *seed,
 	})
 	if err != nil {
+		httpSrv.Close()
 		return err
 	}
 	if *restore != "" && *workers != 0 {
@@ -105,23 +132,9 @@ func run() error {
 	// The cache is a runtime knob (never persisted), so it is applied the
 	// same way on every boot path, including -restore.
 	eng.SetTopKCacheRows(*topkRows)
-	fmt.Printf("simrankd: engine ready (%d nodes, %d edges, %s store, %d store bytes)\n",
-		eng.N(), eng.M(), eng.Backend(), eng.StoreMemBytes())
-
-	srv := server.New(eng, server.Config{
-		SnapshotPath: *snapshot,
-		QueueSize:    *queue,
-		MaxBatch:     *maxBatch,
-		BatchWindow:  *window,
-		MaxNodes:     *maxNodes,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
-
-	errc := make(chan error, 1)
-	go func() {
-		fmt.Printf("simrankd: listening on %s\n", *addr)
-		errc <- httpSrv.ListenAndServe()
-	}()
+	srv.Attach(eng)
+	fmt.Printf("simrankd: engine ready (%d nodes, %d edges, %s store, %d store bytes, epoch %d)\n",
+		eng.N(), eng.M(), eng.Backend(), eng.StoreMemBytes(), eng.Epoch())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

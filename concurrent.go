@@ -3,17 +3,54 @@ package simrank
 import (
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/matrix"
 )
 
-// ConcurrentEngine wraps an Engine with a readers–writer lock so many
-// goroutines can query similarities while updates are serialized — the
-// deployment shape of a live recommendation service absorbing a link
-// stream.
+// ConcurrentEngine serves an Engine to many goroutines with epoch-based
+// MVCC snapshot isolation: every read runs against an immutable,
+// atomically-published view (sealed similarity store + sealed graph +
+// epoch), so readers acquire no mutex and never wait on a writer — not
+// on a streaming ApplyBatch, not on a Recompute, not even on another
+// reader's O(n²) Similarities copy. The single writer (serialized by a
+// plain mutex) mutates its private state through the store's
+// copy-on-write machinery and publishes the next view with one atomic
+// pointer store.
+//
+// Consistency: each view is one point in time — (n, m), every score,
+// every top-k and the epoch all cohere within a call, and epochs are
+// strictly monotone across publishes. A read that starts before a
+// commit is published serves the pre-commit state; ?wait=1 writers (or
+// anyone who observed Apply return) are guaranteed their next read sees
+// the commit, because publish happens before the mutation call returns.
+//
+// Memory: dense writers keep a second n×n buffer and re-sync only the
+// rows updates dirtied (warm Apply stays zero-allocation); packed
+// writers copy-on-write ~64 KiB triangle chunks as they touch them;
+// approx is immutable and shares everything. A long-running reader
+// pinning an old view costs at most its view's buffers — the writer
+// detects the straggler and abandons the buffer to the GC instead of
+// blocking or racing it.
 type ConcurrentEngine struct {
-	mu  sync.RWMutex
+	// writerMu serializes mutations (and only mutations — readers never
+	// take it).
+	writerMu sync.Mutex
+	// eng is the writer-owned mutable state. Readers never touch it.
 	eng *Engine
+	// view is the published read state; readers do one atomic load.
+	view atomic.Pointer[engineView]
+	// old collects displaced views that may still have readers inside
+	// them. A displaced view stays tracked until it is observed fully
+	// drained (readers can never re-enter it: acquire only pins the
+	// current view), because consecutive views can share one store
+	// buffer — a view must not be forgotten while a straggling reader
+	// could still be copying the buffer a future flip would recycle.
+	// Writer-owned.
+	old []*engineView
+	// views counts publishes (the /stats views_published gauge).
+	views atomic.Int64
 }
 
 // NewConcurrentEngine builds a concurrency-safe engine; see NewEngine.
@@ -22,193 +59,328 @@ func NewConcurrentEngine(n int, edges []Edge, opts Options) (*ConcurrentEngine, 
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentEngine{eng: eng}, nil
+	return WrapEngine(eng), nil
 }
 
 // WrapEngine takes ownership of an existing engine (for example one
-// restored via ReadSnapshot). The caller must not use eng directly
-// afterwards.
+// restored via ReadSnapshot) and publishes its first read view. The
+// caller must not use eng directly afterwards.
 func WrapEngine(eng *Engine) *ConcurrentEngine {
-	return &ConcurrentEngine{eng: eng}
+	c := &ConcurrentEngine{eng: eng}
+	c.view.Store(eng.sealView(false))
+	c.views.Add(1)
+	return c
 }
 
-// Similarity returns s(a, b) under a read lock.
+// acquire pins the current view for the duration of one read. The
+// increment-then-recheck dance closes the race against a writer
+// recycling buffers: a reader that loses the race (the view moved
+// between load and increment) backs off and retries, so it never
+// dereferences data the writer might reclaim. Lock-free and wait-free
+// in practice — the retry fires only across a concurrent publish.
+func (c *ConcurrentEngine) acquire() *engineView {
+	for {
+		v := c.view.Load()
+		v.readers.Add(1)
+		if c.view.Load() == v {
+			return v
+		}
+		v.readers.Add(-1)
+	}
+}
+
+func release(v *engineView) { v.readers.Add(-1) }
+
+// dropDrained forgets displaced views with no readers left — safe
+// forever, since acquire only pins the current view. Views remaining in
+// c.old afterwards are exactly the busy stragglers.
+func (c *ConcurrentEngine) dropDrained() {
+	kept := c.old[:0]
+	for _, v := range c.old {
+		if v.readers.Load() != 0 {
+			kept = append(kept, v)
+		}
+	}
+	// Nil out the forgotten tail so retained view structs (and the
+	// sealed stores they pin) become collectible.
+	for i := len(kept); i < len(c.old); i++ {
+		c.old[i] = nil
+	}
+	c.old = kept
+}
+
+// prepareWrite runs before every store-writing mutation: if a displaced
+// view that still has a reader inside it pins the exact buffer the
+// store's next copy-on-write flip would recycle (consecutive views can
+// share one buffer, so every tracked straggler is checked, not just the
+// newest), abandon that buffer to the GC rather than block the writer
+// or race the reader. Stragglers on other buffers are harmless — after
+// one abandon their buffer is orphaned for good, so a long reader costs
+// one extra allocation total, not one per subsequent write. Busy views
+// stay tracked for the next round; they are only forgotten once
+// observed drained.
+func (c *ConcurrentEngine) prepareWrite() {
+	c.dropDrained()
+	for _, v := range c.old { // all still-tracked views are busy
+		if c.eng.viewPinsRecycleTarget(v) {
+			c.eng.abandonWriteBuffers()
+			break
+		}
+	}
+}
+
+// publish seals the writer state into a fresh view and swaps it in,
+// retiring the displaced one (and pruning already-drained retirees, so
+// publish-only workloads like repeated AddNodes cannot grow the list
+// without bound). Called with writerMu held, after the mutation
+// committed. withDirty propagates the update's DirtyRows snapshot —
+// only Apply publishes one.
+func (c *ConcurrentEngine) publish(withDirty bool) *engineView {
+	v := c.eng.sealView(withDirty)
+	prev := c.view.Load()
+	c.view.Store(v)
+	c.dropDrained()
+	c.old = append(c.old, prev)
+	c.views.Add(1)
+	return v
+}
+
+// Similarity returns s(a, b) from the current view, lock-free.
 func (c *ConcurrentEngine) Similarity(a, b int) float64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.Similarity(a, b)
+	v := c.acquire()
+	defer release(v)
+	return v.similarity(a, b)
 }
 
-// SimilarityStderr returns s(a, b) and its standard error under a read
-// lock; see Engine.SimilarityStderr.
+// SimilarityStderr returns s(a, b) and its standard error from the
+// current view; see Engine.SimilarityStderr.
 func (c *ConcurrentEngine) SimilarityStderr(a, b int) (score, stderr float64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.SimilarityStderr(a, b)
+	v := c.acquire()
+	defer release(v)
+	return v.similarityStderr(a, b)
 }
 
-// Backend returns the similarity-store backend under a read lock.
+// Backend returns the similarity-store backend.
 func (c *ConcurrentEngine) Backend() Backend {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.Backend()
+	return c.view.Load().s.Backend()
 }
 
-// StoreMemBytes reports the similarity store's resident bytes under a
-// read lock; see Engine.StoreMemBytes.
+// StoreMemBytes reports the similarity store's resident bytes as of the
+// current view's publish; see Engine.StoreMemBytes.
 func (c *ConcurrentEngine) StoreMemBytes() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.StoreMemBytes()
+	return c.view.Load().storeBytes
 }
 
-// TopK returns the k most similar pairs under a read lock.
+// TopK returns the k most similar pairs from the current view.
 func (c *ConcurrentEngine) TopK(k int) []Pair {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.TopK(k)
+	v := c.acquire()
+	defer release(v)
+	return v.topK(k)
 }
 
-// TopKFor returns the nodes most similar to a under a read lock.
+// TopKFor returns the nodes most similar to a from the current view.
 func (c *ConcurrentEngine) TopKFor(a, k int) []Pair {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.TopKFor(a, k)
+	v := c.acquire()
+	defer release(v)
+	return v.topKFor(a, k)
 }
 
-// N returns the node count under a read lock.
-func (c *ConcurrentEngine) N() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.N()
-}
+// N returns the node count of the current view.
+func (c *ConcurrentEngine) N() int { return c.view.Load().n }
 
-// M returns the edge count under a read lock.
-func (c *ConcurrentEngine) M() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.M()
-}
+// M returns the edge count of the current view.
+func (c *ConcurrentEngine) M() int { return c.view.Load().m }
 
-// Size returns the node and edge counts under ONE read lock, so the
-// pair is a consistent point-in-time view (separate N() and M() calls
-// can straddle a committed write).
+// Size returns the node and edge counts of ONE view, so the pair is a
+// consistent point-in-time reading (separate N() and M() calls can
+// straddle a published commit).
 func (c *ConcurrentEngine) Size() (n, m int) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.N(), c.eng.M()
+	v := c.view.Load()
+	return v.n, v.m
 }
 
-// HasEdge reports edge presence under a read lock.
+// Epoch returns the current view's epoch: 1:1 with Engine.Epoch at the
+// view's publish, strictly monotone across publishes.
+func (c *ConcurrentEngine) Epoch() uint64 { return c.view.Load().epoch }
+
+// ViewInfo is the observability surface of the MVCC read path, served
+// as /stats epoch / view_age_ms / inflight_readers / views_published.
+// All fields except Published and the cache counters describe ONE view,
+// so a stats reading cannot mix epochs (reporting epoch E+1 alongside
+// epoch-E node counts).
+type ViewInfo struct {
+	// Epoch is the published view's version.
+	Epoch uint64
+	// Age is how long ago that view was published — how stale the
+	// oldest data a fresh read can observe is.
+	Age time.Duration
+	// Readers is the number of calls inside the view right now.
+	Readers int64
+	// Published counts views published over the engine's lifetime.
+	Published int64
+	// N and M are the view's node and edge counts.
+	N, M int
+	// Backend and StoreBytes describe the view's similarity store.
+	Backend    Backend
+	StoreBytes int64
+	// Cache is the view's query-cache counter snapshot (zero when the
+	// cache is disabled). The counters themselves are cache-lifetime
+	// monotone, shared across views.
+	Cache CacheStats
+}
+
+// ViewInfo returns a coherent reading of the published view — size,
+// epoch, age, store and cache gauges all from one atomic load.
+func (c *ConcurrentEngine) ViewInfo() ViewInfo {
+	v := c.view.Load()
+	vi := ViewInfo{
+		Epoch:      v.epoch,
+		Age:        time.Since(v.published),
+		Readers:    v.readers.Load(),
+		Published:  c.views.Load(),
+		N:          v.n,
+		M:          v.m,
+		Backend:    v.s.Backend(),
+		StoreBytes: v.storeBytes,
+	}
+	if v.cache != nil {
+		vi.Cache = v.cache.Stats()
+	}
+	return vi
+}
+
+// HasEdge reports edge presence in the current view.
 func (c *ConcurrentEngine) HasEdge(i, j int) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.HasEdge(i, j)
+	v := c.acquire()
+	defer release(v)
+	return v.hasEdge(i, j)
 }
 
-// detachStats copies the workspace-aliasing DirtyRows out of st. The
-// plain Engine documents the slice as valid until the caller's next
-// update — a usable contract single-threaded, but meaningless once the
-// write lock is released: another writer can rewrite the backing scratch
-// before this caller even looks at it. The concurrent facade therefore
-// always hands out an independent copy.
-func detachStats(st UpdateStats, err error) (UpdateStats, error) {
-	st.DirtyRows = append([]int(nil), st.DirtyRows...)
-	return st, err
-}
-
-// Insert adds an edge under the write lock.
+// Insert adds an edge under the writer mutex and publishes the new view.
 func (c *ConcurrentEngine) Insert(i, j int) (UpdateStats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return detachStats(c.eng.Insert(i, j))
+	return c.Apply(Update{Edge: Edge{From: i, To: j}, Insert: true})
 }
 
-// Delete removes an edge under the write lock.
+// Delete removes an edge under the writer mutex and publishes the new
+// view.
 func (c *ConcurrentEngine) Delete(i, j int) (UpdateStats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return detachStats(c.eng.Delete(i, j))
+	return c.Apply(Update{Edge: Edge{From: i, To: j}, Insert: false})
 }
 
-// Apply performs one unit update under the write lock.
+// Apply performs one unit update under the writer mutex; readers keep
+// serving the previous view until the commit is published. The returned
+// UpdateStats.DirtyRows is the detached copy snapshotted at publish
+// time — caller-owned, with no lifetime caveat.
 func (c *ConcurrentEngine) Apply(up Update) (UpdateStats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return detachStats(c.eng.Apply(up))
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
+	c.prepareWrite()
+	st, err := c.eng.Apply(up)
+	if err != nil {
+		// Failed updates mutate nothing (validated before any write), so
+		// there is no new state to publish.
+		return UpdateStats{}, err
+	}
+	v := c.publish(true)
+	st.DirtyRows = v.dirtyRows
+	return st, nil
 }
 
-// ApplyBatch folds a batch of updates under one write-lock acquisition.
+// ApplyBatch folds a batch of updates under one writer-mutex
+// acquisition and publishes once, after the whole batch committed —
+// readers never observe a half-applied batch.
 func (c *ConcurrentEngine) ApplyBatch(ups []Update) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.eng.ApplyBatch(ups)
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
+	c.prepareWrite()
+	before := c.eng.Epoch()
+	err := c.eng.ApplyBatch(ups)
+	if c.eng.Epoch() != before {
+		// Publish whatever committed — on the validated path that is all
+		// of it or none of it.
+		c.publish(false)
+	}
+	return err
 }
 
-// Similarities returns a snapshot copy of the similarity matrix under a
-// read lock.
+// Similarities returns a point-in-time copy of the similarity matrix:
+// the O(n²) materialization runs against the caller's pinned view, so
+// a concurrent writer streams on unimpeded and later mutations are not
+// reflected in the copy. Nil on the approx backend.
 func (c *ConcurrentEngine) Similarities() *matrix.Dense {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.Similarities()
+	v := c.acquire()
+	defer release(v)
+	return v.similarities()
 }
 
-// Recompute rebuilds the similarities from scratch under the write lock.
+// Recompute rebuilds the similarities from scratch under the writer
+// mutex and publishes the result as one new view.
 func (c *ConcurrentEngine) Recompute() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
+	c.prepareWrite()
+	before := c.eng.Epoch()
 	c.eng.Recompute()
+	if c.eng.Epoch() != before { // no-op on the read-only backend
+		c.publish(false)
+	}
 }
 
-// AddNodes appends count isolated nodes under the write lock, returning
-// the id of the first new one.
+// AddNodes appends count isolated nodes under the writer mutex,
+// returning the id of the first new one. The grown store is fresh, so
+// no buffer recycling is involved and prior views stay intact.
 func (c *ConcurrentEngine) AddNodes(count int) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.eng.AddNodes(count)
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
+	first, err := c.eng.AddNodes(count)
+	if err != nil {
+		return 0, err
+	}
+	c.publish(false)
+	return first, nil
 }
 
-// Options returns the engine's effective options under a read lock.
-func (c *ConcurrentEngine) Options() Options {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.Options()
-}
+// Options returns the effective options of the current view.
+func (c *ConcurrentEngine) Options() Options { return c.view.Load().opts }
 
-// SetWorkers changes the batch-computation parallelism under the write
-// lock; see Engine.SetWorkers.
+// SetWorkers changes the batch-computation parallelism under the writer
+// mutex; see Engine.SetWorkers.
 func (c *ConcurrentEngine) SetWorkers(workers int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
 	c.eng.SetWorkers(workers)
+	c.publish(false)
 }
 
-// CacheStats returns the query cache's counters under a read lock; see
-// Engine.CacheStats.
+// CacheStats returns the query cache's counters for the current view's
+// cache; see Engine.CacheStats.
 func (c *ConcurrentEngine) CacheStats() CacheStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.CacheStats()
+	v := c.view.Load()
+	if v.cache == nil {
+		return CacheStats{}
+	}
+	return v.cache.Stats()
 }
 
 // SetTopKCacheRows resizes, enables or disables the query cache under
-// the write lock; see Engine.SetTopKCacheRows. Cache reads stay correct
-// under the RWMutex because every invalidation (like this reset) happens
-// while the write lock excludes all readers; concurrent readers filling
-// the cache under the shared read lock are serialized by the cache's own
-// internal mutex.
+// the writer mutex; see Engine.SetTopKCacheRows. The fresh cache
+// arrives with the new view; readers still on older views keep using
+// the cache those views were published with.
 func (c *ConcurrentEngine) SetTopKCacheRows(rows int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
 	c.eng.SetTopKCacheRows(rows)
+	c.publish(false)
 }
 
-// WriteSnapshot serializes the engine under a read lock, so a snapshot
-// can be taken while queries keep being served — only writers wait for
-// the serialization to finish. ConcurrentEngine therefore satisfies
-// SnapshotWriter and can be handed to WriteSnapshotFile directly.
+// WriteSnapshot serializes the current view: a consistent snapshot at
+// that view's epoch, written without taking any engine lock — queries
+// keep flowing AND the writer keeps committing while the bytes stream
+// out (commits made after the pin are simply not in the file).
+// ConcurrentEngine therefore satisfies SnapshotWriter and can be handed
+// to WriteSnapshotFile directly.
 func (c *ConcurrentEngine) WriteSnapshot(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.eng.WriteSnapshot(w)
+	v := c.acquire()
+	defer release(v)
+	return v.writeSnapshot(w)
 }

@@ -93,9 +93,7 @@ func TestConcurrentApplyBatch(t *testing.T) {
 		{From: 4, To: 5}, {From: 5, To: 0}, {From: 0, To: 2}, {From: 1, To: 3},
 		{From: 2, To: 5},
 	}, Options{C: 0.6, K: 30})
-	c.mu.RLock()
-	got := c.eng.Similarities()
-	c.mu.RUnlock()
+	got := c.Similarities()
 	if d := matrix.MaxAbsDiff(got, eng.Similarities()); d > 1e-6 {
 		t.Fatalf("concurrent batch drifted %g", d)
 	}

@@ -39,16 +39,37 @@
 // bit-identical results. See README.md for the architecture notes and
 // the benchmark suite (go test -bench=. -benchmem).
 //
+// # Concurrency model
+//
+// ConcurrentEngine serves reads with epoch-based MVCC snapshot
+// isolation: every committed mutation seals the engine's state into an
+// immutable read view (sealed store + sealed graph + epoch) published
+// through one atomic pointer, so readers acquire no lock and never wait
+// on a writer — not on a streaming ApplyBatch, a Recompute, or another
+// reader's O(n²) Similarities copy — and each view is one consistent
+// point in time (Size returns a coherent (n, m); WriteSnapshot
+// serializes the pinned view while the writer keeps committing).
+// Sealing copies no similarity payload: the dense backend double-buffers
+// and re-syncs only each update's dirty rows (warm Apply stays
+// zero-allocation), packed copy-on-writes ~64 KiB triangle chunks, and
+// approx is immutable. The plain Engine never seals and pays nothing.
+// See the README's "Concurrency model" section for costs and the
+// straggling-reader story.
+//
 // # Serving
 //
 // internal/server (run as cmd/simrankd) exposes the engine over
-// HTTP/JSON: queries are answered off ConcurrentEngine's read lock, and
-// POST /updates feeds an asynchronous coalescing pipeline that folds
-// each burst of write requests through one ApplyBatch per drain cycle —
-// one write-lock acquisition for the whole burst, with opt-in
-// synchronous completion (?wait=1) and an atomic snapshot/restore
-// lifecycle (WriteSnapshotFile, the -snapshot and -restore flags). See
-// the README's "Serving" section for the endpoint table and semantics.
+// HTTP/JSON: queries are answered lock-free off the published MVCC
+// views, and POST /updates feeds an asynchronous coalescing pipeline
+// that folds each burst of write requests through one ApplyBatch per
+// drain cycle — one writer-mutex acquisition and one view publish for
+// the whole burst, with opt-in synchronous completion (?wait=1) and an
+// atomic snapshot/restore lifecycle (WriteSnapshotFile, the -snapshot
+// and -restore flags). The listener can bind before the engine boots:
+// /healthz is pure liveness while /readyz holds traffic until the first
+// view publishes, and /stats reports epoch, view_age_ms and
+// inflight_readers. See the README's "Serving" section for the endpoint
+// table and semantics.
 //
 // # Similarity-store backends
 //
@@ -73,6 +94,9 @@
 // and invalidated per update using exactly the affected rows the
 // incremental core reports (UpdateStats.DirtyRows — the pruning
 // machinery's "affected area", repurposed as an invalidation signal).
+// Entries are epoch-stamped, so one cache serves every MVCC view
+// concurrently: an entry answers a reader only when the row provably
+// did not change between the entry's epoch and the reader's.
 // Cached answers are bit-identical to fresh scans; CacheStats exposes
 // hit/miss/invalidation counters, also served in GET /stats. Queries
 // themselves never panic: out-of-range nodes and non-positive k yield

@@ -155,10 +155,17 @@ type Engine struct {
 	// after AddNodes) and kept in lock-step with g by every mutation.
 	ws *core.Workspace
 	// cache is the dirty-row-invalidated top-k query cache, nil when
-	// disabled (Options.TopKCacheRows ≤ 0). Every mutation path must
-	// invalidate it before returning: Apply by the update's dirty rows,
-	// Recompute and AddNodes wholesale.
+	// disabled (Options.TopKCacheRows ≤ 0). Entries are epoch-stamped
+	// (see internal/cache): every mutation path bumps the epoch and
+	// records what moved — Apply the update's dirty rows, Recompute and
+	// AddNodes wholesale — so cached answers are provably bit-identical
+	// at whatever epoch they are read.
 	cache *cache.TopK
+	// epoch counts committed mutations, monotonically: the version
+	// number the MVCC facade stamps on published read views and the
+	// cache stamps on entries. Bumped by Apply, Recompute, AddNodes,
+	// SetWorkers and SetTopKCacheRows (anything a reader could observe).
+	epoch uint64
 	// lastStats records the most recent incremental update's work.
 	lastStats UpdateStats
 }
@@ -205,9 +212,15 @@ func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 		}
 		e.s = as
 	}
-	e.SetTopKCacheRows(opts.TopKCacheRows)
+	e.setTopKCacheRows(opts.TopKCacheRows)
 	return e, nil
 }
+
+// Epoch returns the engine's monotone mutation counter: 0 at
+// construction (and after snapshot restore), +1 per committed Apply,
+// Recompute, AddNodes, SetWorkers or SetTopKCacheRows. The MVCC facade
+// stamps each published read view with it.
+func (e *Engine) Epoch() uint64 { return e.epoch }
 
 // readOnly reports whether the engine's backend rejects mutation.
 func (e *Engine) readOnly() bool { return e.opts.Backend == BackendApprox }
@@ -287,18 +300,25 @@ func (e *Engine) Similarities() *matrix.Dense { return e.s.ToDense() }
 // pairs is exactly the work the sampling tier exists to avoid (use
 // TopKFor per node instead).
 func (e *Engine) TopK(k int) []Pair {
-	if k <= 0 || e.s.Backend() == BackendApprox {
+	return storeTopK(e.s, e.cache, e.epoch, k)
+}
+
+// storeTopK is the global top-k read path, shared verbatim by the
+// mutable engine (epoch = its mutation counter) and every sealed MVCC
+// view (epoch = the view's) so the two can never drift.
+func storeTopK(s simstore.Store, c *cache.TopK, epoch uint64, k int) []Pair {
+	if k <= 0 || s.Backend() == BackendApprox {
 		return nil
 	}
-	if e.cache != nil {
-		if ps, ok := e.cache.GetGlobal(k); ok {
+	if c != nil {
+		if ps, ok := c.GetGlobal(k, epoch); ok {
 			return ps
 		}
-		ps := metrics.TopKPairsUpper(e.s.N(), e.s.UpperRow, k)
-		e.cache.PutGlobal(k, ps)
+		ps := metrics.TopKPairsUpper(s.N(), s.UpperRow, k)
+		c.PutGlobal(k, ps, epoch)
 		return metrics.ClonePairs(ps)
 	}
-	return metrics.TopKPairsUpper(e.s.N(), e.s.UpperRow, k)
+	return metrics.TopKPairsUpper(s.N(), s.UpperRow, k)
 }
 
 // TopKFor returns up to k nodes most similar to node a, highest first
@@ -310,25 +330,31 @@ func (e *Engine) TopKFor(a, k int) []Pair {
 	if !e.validNode(a) || k <= 0 {
 		return nil
 	}
+	return storeTopKFor(e.s, e.cache, e.epoch, a, k)
+}
+
+// storeTopKFor is the per-row top-k read path shared by the mutable
+// engine and every sealed MVCC view; the caller has validated a and k.
+func storeTopKFor(s simstore.Store, c *cache.TopK, epoch uint64, a, k int) []Pair {
 	// Sampling backends bypass the cache: a sampled list shorter than k
 	// does not mean the row is exhausted (weak candidates can refine to
 	// zero and drop out), which would violate the cache's
 	// short-result-serves-any-larger-k rule — and sampled answers are
 	// not bit-stable across calls in the first place.
-	if smp, ok := e.s.(simstore.Sampler); ok {
+	if smp, ok := s.(simstore.Sampler); ok {
 		return smp.TopKRow(a, k)
 	}
-	if e.cache != nil {
-		if ps, ok := e.cache.GetRow(a, k); ok {
+	if c != nil {
+		if ps, ok := c.GetRow(a, k, epoch); ok {
 			return ps
 		}
-		ps := metrics.TopKRow(e.s.ConcurrentRow(a), a, k)
-		e.cache.PutRow(a, k, ps)
+		ps := metrics.TopKRow(s.ConcurrentRow(a), a, k)
+		c.PutRow(a, k, ps, epoch)
 		return metrics.ClonePairs(ps)
 	}
 	// Exact backends scan a concurrency-safe row view: a zero-copy alias
 	// on dense, one O(n) materialization on packed.
-	return metrics.TopKRow(e.s.ConcurrentRow(a), a, k)
+	return metrics.TopKRow(s.ConcurrentRow(a), a, k)
 }
 
 // Insert adds edge (i, j) and incrementally updates all similarities.
@@ -348,9 +374,10 @@ func (e *Engine) Delete(i, j int) (UpdateStats, error) {
 // buffer the algorithms need.
 //
 // The returned UpdateStats.DirtyRows aliases workspace scratch: it is
-// valid until this engine's next update (copy it to retain) — which is a
-// usable window only single-threaded, so ConcurrentEngine's wrappers
-// return a detached copy instead.
+// valid until this engine's next update (copy it to retain) — see the
+// lifetime contract on core.Stats.DirtyRows. ConcurrentEngine's
+// wrappers return the detached copy snapshotted at view-publish time
+// instead.
 func (e *Engine) Apply(up Update) (UpdateStats, error) {
 	if e.readOnly() {
 		return UpdateStats{}, ErrReadOnlyBackend
@@ -372,12 +399,17 @@ func (e *Engine) Apply(up Update) (UpdateStats, error) {
 	}
 	e.g.Apply(up)
 	ws.ApplyUpdate(up)
+	// Thread the dirty set into the store's copy-on-write machinery: the
+	// dense double-buffer re-syncs exactly these rows on its next flip
+	// (no-op on packed/approx, and on stores never sealed).
+	e.s.MarkRowsDirty(st.DirtyRows)
+	e.epoch++
 	if e.cache != nil {
 		// Surgical invalidation: only the rows this update wrote lose
-		// their cached top-k; everything else keeps serving. In the
-		// concurrent facade this runs inside the write lock, so readers
-		// can never see a cached result older than a committed write.
-		e.cache.InvalidateRows(st.DirtyRows)
+		// their cached top-k; everything else keeps serving. The epoch
+		// stamp fences off concurrent readers of older views without
+		// excluding them.
+		e.cache.InvalidateRows(st.DirtyRows, e.epoch)
 	}
 	e.lastStats = st
 	return st, nil
@@ -472,11 +504,13 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 	// The workspace is sized for the old n; rebuild it lazily at the new
 	// size on the next update.
 	e.ws = nil
+	e.epoch++
 	if e.cache != nil {
 		// Wholesale: the cached slices were computed over the old matrix.
 		// (The padded rows are value-identical, but a flush is the simple
 		// invariant every resize shares.)
-		e.cache.Flush()
+		e.cache.Flush(e.epoch)
+		e.cache.ReserveRows(e.g.N())
 	}
 	return first, nil
 }
@@ -498,14 +532,20 @@ func (e *Engine) Recompute() {
 	ws := e.workspace()
 	switch s := e.s.(type) {
 	case *simstore.Dense:
-		batch.MatrixFormInto(s.Matrix(), ws.DenseScratch(), ws.TransitionCSR(), e.opts.C, e.opts.K, e.opts.Workers)
+		// The discard variant flips the MVCC double-buffer without the
+		// syncing copy — the kernel overwrites every cell anyway (it
+		// starts from S₀ = (1−C)I) — and leaves the other buffer marked
+		// wholly stale, which MarkAllRowsDirty re-asserts.
+		batch.MatrixFormInto(s.WritableMatrixDiscard(), ws.DenseScratch(), ws.TransitionCSR(), e.opts.C, e.opts.K, e.opts.Workers)
+		s.MarkAllRowsDirty()
 	case *simstore.Packed:
 		buf := matrix.NewDense(s.N(), s.N())
 		batch.MatrixFormInto(buf, matrix.NewDense(s.N(), s.N()), ws.TransitionCSR(), e.opts.C, e.opts.K, e.opts.Workers)
 		s.SetFromDense(buf)
 	}
+	e.epoch++
 	if e.cache != nil {
-		e.cache.Flush() // every entry may have moved
+		e.cache.Flush(e.epoch) // every entry may have moved
 	}
 }
 
@@ -535,7 +575,10 @@ func (e *Engine) Options() Options { return e.opts }
 // option that may be changed after construction; snapshots do not
 // persist it, and restored engines default to GOMAXPROCS until told
 // otherwise.
-func (e *Engine) SetWorkers(workers int) { e.opts.Workers = workers }
+func (e *Engine) SetWorkers(workers int) {
+	e.opts.Workers = workers
+	e.epoch++ // Options() is reader-visible state
+}
 
 // CacheStats is the query cache's counter snapshot; see cache.Stats.
 type CacheStats = cache.Stats
@@ -555,9 +598,19 @@ func (e *Engine) CacheStats() CacheStats {
 // restored snapshots, which default to no cache; the new cache starts
 // cold with fresh counters.
 func (e *Engine) SetTopKCacheRows(rows int) {
+	e.setTopKCacheRows(rows)
+	e.epoch++ // a new (cold) cache is reader-visible state
+}
+
+// setTopKCacheRows is SetTopKCacheRows without the epoch bump — the
+// constructor's form, so a freshly built engine starts at epoch 0.
+func (e *Engine) setTopKCacheRows(rows int) {
 	e.opts.TopKCacheRows = rows
 	if rows > 0 {
 		e.cache = cache.New(rows)
+		// Pre-size the dirty ledger so warm updates never grow it
+		// (preserving Apply's zero-allocation guarantee).
+		e.cache.ReserveRows(e.g.N())
 	} else {
 		e.cache = nil
 	}

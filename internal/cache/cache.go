@@ -7,12 +7,28 @@
 // scan of TopK — into a map lookup for every row no recent update
 // touched.
 //
-// Correctness contract: callers must invalidate while holding whatever
-// lock serializes writes to the similarity matrix (the engine does so
-// inside its write lock), so a reader can never observe a cached result
-// that predates a committed write. The cache itself carries a mutex only
-// to serialize concurrent readers filling or touching entries under a
-// shared read lock.
+// # Epoch stamping
+//
+// The cache is shared by every MVCC read view of one engine, so
+// correctness cannot rest on "invalidate while readers are excluded" —
+// readers are never excluded. Instead every entry is stamped with the
+// epoch of the view it was computed against, and the writer records, per
+// row, the epoch of the publish that last changed that row (plus a
+// wholesale floor for recompute/growth). An entry answers a reader at
+// epoch E exactly when the row provably did not change between the
+// entry's epoch and E — i.e. both are at or after the row's last dirty
+// epoch — which makes served results bit-identical to a fresh scan of
+// that reader's own view. Invalidation is just the writer stamping new
+// dirty epochs at publish time: no reader is ever blocked, and a stale
+// in-flight Put (a reader on an old view finishing its scan after a
+// newer publish) is rejected by the same epoch arithmetic.
+//
+// The single-threaded engine uses the identical arithmetic with its own
+// monotone mutation counter, so the two code paths cannot drift.
+//
+// The cache carries a mutex only to serialize its internal map/LRU
+// bookkeeping; critical sections are O(1) per query and never span a
+// row scan or any writer work.
 package cache
 
 import (
@@ -22,16 +38,14 @@ import (
 	"repro/internal/metrics"
 )
 
-// globalRow keys the cached global top-k; real rows are ≥ 0.
-const globalRow = -1
-
 // entry is one cached result: the pairs computed for row (or the global
-// scan) at request size k. When len(pairs) < k the scan was exhaustive —
-// every non-zero candidate is present — so the entry can serve any
-// request size.
+// scan) at request size k, against the view at the given epoch. When
+// len(pairs) < k the scan was exhaustive — every non-zero candidate is
+// present — so the entry can serve any request size.
 type entry struct {
 	row   int
 	k     int
+	epoch uint64
 	pairs []metrics.Pair
 }
 
@@ -58,7 +72,16 @@ type TopK struct {
 	rows    map[int]*list.Element // row id → element holding *entry
 	lru     *list.List            // front = most recently used
 	global  *entry                // nil when not cached
-	stats   Stats
+
+	// rowDirty[r] is the epoch of the publish that last changed row r
+	// (0 = never), grown on demand; floor is the wholesale-invalidation
+	// epoch (recompute, node growth); globalDirty invalidates the global
+	// top-k, which any changed row can reorder.
+	rowDirty    []uint64
+	floor       uint64
+	globalDirty uint64
+
+	stats Stats
 }
 
 // New builds a cache retaining up to maxRows per-row results (plus the
@@ -74,6 +97,43 @@ func New(maxRows int) *TopK {
 		lru:     list.New(),
 	}
 }
+
+// ReserveRows pre-sizes the dirty-epoch ledger for rows [0, n), so the
+// write path's InvalidateRows never has to grow it (keeping a warm
+// update allocation-free). Growth still happens on demand for rows past
+// the reservation (node growth).
+func (c *TopK) ReserveRows(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.growRows(n)
+}
+
+func (c *TopK) growRows(n int) {
+	if n <= len(c.rowDirty) {
+		return
+	}
+	if n < 2*len(c.rowDirty) {
+		n = 2 * len(c.rowDirty)
+	}
+	next := make([]uint64, n)
+	copy(next, c.rowDirty)
+	c.rowDirty = next
+}
+
+// rowFloor returns the earliest epoch an entry for row may carry and
+// still be servable.
+func (c *TopK) rowFloor(row int) uint64 {
+	f := c.floor
+	if row < len(c.rowDirty) && c.rowDirty[row] > f {
+		f = c.rowDirty[row]
+	}
+	return f
+}
+
+// valid reports whether an entry computed at epoch ep answers a reader
+// at epoch at, given the earliest-valid floor: both must be at or after
+// the last change, proving the underlying row bytes are identical.
+func valid(ep, at, floor uint64) bool { return ep >= floor && at >= floor }
 
 // servable reports whether an entry computed at size e.k answers a
 // request for k pairs: either the request is no larger, or the stored
@@ -94,14 +154,15 @@ func take(e *entry, k int) []metrics.Pair {
 	return out
 }
 
-// GetRow returns the cached top-k of row, if a servable entry exists,
-// touching it in the LRU order. The returned slice is the caller's own.
-func (c *TopK) GetRow(row, k int) ([]metrics.Pair, bool) {
+// GetRow returns the cached top-k of row as seen at epoch at, if a
+// servable entry valid for that epoch exists, touching it in the LRU
+// order. The returned slice is the caller's own.
+func (c *TopK) GetRow(row, k int, at uint64) ([]metrics.Pair, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.rows[row]
 	if ok {
-		if e := el.Value.(*entry); servable(e, k) {
+		if e := el.Value.(*entry); servable(e, k) && valid(e.epoch, at, c.rowFloor(row)) {
 			c.lru.MoveToFront(el)
 			c.stats.RowHits++
 			return take(e, k), true
@@ -111,19 +172,29 @@ func (c *TopK) GetRow(row, k int) ([]metrics.Pair, bool) {
 	return nil, false
 }
 
-// PutRow stores the result of a fresh row scan at request size k, taking
-// ownership of pairs. An existing entry for the row is replaced; the
-// least recently used row is evicted past the capacity bound.
-func (c *TopK) PutRow(row, k int, pairs []metrics.Pair) {
+// PutRow stores the result of a fresh row scan at request size k,
+// computed against the view at epoch at, taking ownership of pairs.
+// Puts that are already unservable (the row changed at a later epoch —
+// a reader on an old view finishing after a publish) or older than the
+// resident entry are dropped; otherwise an existing entry for the row
+// is replaced, and the least recently used row is evicted past the
+// capacity bound.
+func (c *TopK) PutRow(row, k int, pairs []metrics.Pair, at uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if at < c.rowFloor(row) {
+		return
+	}
 	if el, ok := c.rows[row]; ok {
 		e := el.Value.(*entry)
-		e.k, e.pairs = k, pairs
+		if at < e.epoch {
+			return
+		}
+		e.k, e.pairs, e.epoch = k, pairs, at
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.rows[row] = c.lru.PushFront(&entry{row: row, k: k, pairs: pairs})
+	c.rows[row] = c.lru.PushFront(&entry{row: row, k: k, epoch: at, pairs: pairs})
 	if c.lru.Len() > c.maxRows {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
@@ -132,11 +203,16 @@ func (c *TopK) PutRow(row, k int, pairs []metrics.Pair) {
 	}
 }
 
-// GetGlobal returns the cached global top-k, if servable.
-func (c *TopK) GetGlobal(k int) ([]metrics.Pair, bool) {
+// GetGlobal returns the cached global top-k as seen at epoch at, if
+// servable and valid for that epoch.
+func (c *TopK) GetGlobal(k int, at uint64) ([]metrics.Pair, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.global != nil && servable(c.global, k) {
+	floor := c.floor
+	if c.globalDirty > floor {
+		floor = c.globalDirty
+	}
+	if c.global != nil && servable(c.global, k) && valid(c.global.epoch, at, floor) {
 		c.stats.GlobalHits++
 		return take(c.global, k), true
 	}
@@ -145,26 +221,47 @@ func (c *TopK) GetGlobal(k int) ([]metrics.Pair, bool) {
 }
 
 // PutGlobal stores the result of a fresh global scan at request size k,
-// taking ownership of pairs.
-func (c *TopK) PutGlobal(k int, pairs []metrics.Pair) {
+// computed against the view at epoch at, taking ownership of pairs.
+func (c *TopK) PutGlobal(k int, pairs []metrics.Pair, at uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.global = &entry{row: globalRow, k: k, pairs: pairs}
+	if at < c.floor || at < c.globalDirty {
+		return
+	}
+	if c.global != nil && at < c.global.epoch {
+		return
+	}
+	c.global = &entry{row: -1, k: k, epoch: at, pairs: pairs}
 }
 
-// InvalidateRows drops the entries for exactly the given rows (the
-// update's dirty set) and, when any row is dirty, the global result —
-// any changed row can reorder the global ranking. Rows without a cached
+// InvalidateRows records that the publish at epoch at changed exactly
+// the given rows, dropping their entries (and the global result — any
+// changed row can reorder the global ranking). Rows without a cached
 // entry are no-ops, and an empty dirty set (an update whose every delta
-// pruned to zero) keeps the whole cache.
-func (c *TopK) InvalidateRows(rows []int) {
+// pruned to zero) keeps the whole cache. Readers are never excluded:
+// a reader concurrently finishing a scan of an older view is fenced off
+// by the epoch arithmetic, not by this call.
+func (c *TopK) InvalidateRows(rows []int, at uint64) {
 	if len(rows) == 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.global = nil
+	if at > c.globalDirty {
+		c.globalDirty = at
+	}
+	maxRow := 0
 	for _, row := range rows {
+		if row > maxRow {
+			maxRow = row
+		}
+	}
+	c.growRows(maxRow + 1)
+	for _, row := range rows {
+		if at > c.rowDirty[row] {
+			c.rowDirty[row] = at
+		}
 		if el, ok := c.rows[row]; ok {
 			c.lru.Remove(el)
 			delete(c.rows, row)
@@ -173,11 +270,15 @@ func (c *TopK) InvalidateRows(rows []int) {
 	}
 }
 
-// Flush drops everything: the wholesale invalidation for recompute, node
-// growth, and snapshot restore, where every row may have moved.
-func (c *TopK) Flush() {
+// Flush drops everything as of epoch at: the wholesale invalidation for
+// recompute, node growth, and snapshot restore, where every row may have
+// moved.
+func (c *TopK) Flush(at uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if at > c.floor {
+		c.floor = at
+	}
 	c.global = nil
 	clear(c.rows)
 	c.lru.Init()

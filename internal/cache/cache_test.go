@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/metrics"
@@ -18,22 +19,22 @@ func pairs(row int, scores ...float64) []metrics.Pair {
 
 func TestRowHitMissAndPrefix(t *testing.T) {
 	c := New(8)
-	if _, ok := c.GetRow(3, 5); ok {
+	if _, ok := c.GetRow(3, 5, 0); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.PutRow(3, 5, pairs(3, .9, .8, .7, .6, .5))
+	c.PutRow(3, 5, pairs(3, .9, .8, .7, .6, .5), 0)
 
-	got, ok := c.GetRow(3, 5)
+	got, ok := c.GetRow(3, 5, 0)
 	if !ok || len(got) != 5 {
 		t.Fatalf("GetRow(3,5) = %v, %v; want full hit", got, ok)
 	}
 	// Smaller k is a prefix of the same deterministic ordering.
-	got, ok = c.GetRow(3, 2)
+	got, ok = c.GetRow(3, 2, 0)
 	if !ok || len(got) != 2 || got[1].Score != .8 {
 		t.Fatalf("GetRow(3,2) = %v, %v; want 2-prefix hit", got, ok)
 	}
 	// Larger k cannot be served by a non-exhaustive entry.
-	if _, ok := c.GetRow(3, 6); ok {
+	if _, ok := c.GetRow(3, 6, 0); ok {
 		t.Fatal("k=6 served from a k=5 entry with 5 pairs")
 	}
 	st := c.Stats()
@@ -45,8 +46,8 @@ func TestRowHitMissAndPrefix(t *testing.T) {
 func TestExhaustedEntryServesAnyK(t *testing.T) {
 	c := New(8)
 	// 3 pairs for a k=10 request: the row has only 3 non-zero candidates.
-	c.PutRow(1, 10, pairs(1, .3, .2, .1))
-	got, ok := c.GetRow(1, 1000)
+	c.PutRow(1, 10, pairs(1, .3, .2, .1), 0)
+	got, ok := c.GetRow(1, 1000, 0)
 	if !ok || len(got) != 3 {
 		t.Fatalf("exhausted entry did not serve larger k: %v, %v", got, ok)
 	}
@@ -54,10 +55,10 @@ func TestExhaustedEntryServesAnyK(t *testing.T) {
 
 func TestHitReturnsACopy(t *testing.T) {
 	c := New(4)
-	c.PutRow(0, 2, pairs(0, .5, .4))
-	got, _ := c.GetRow(0, 2)
+	c.PutRow(0, 2, pairs(0, .5, .4), 0)
+	got, _ := c.GetRow(0, 2, 0)
 	got[0].Score = -1
-	again, _ := c.GetRow(0, 2)
+	again, _ := c.GetRow(0, 2, 0)
 	if again[0].Score != .5 {
 		t.Fatal("mutating a returned slice corrupted the cached entry")
 	}
@@ -65,14 +66,14 @@ func TestHitReturnsACopy(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := New(2)
-	c.PutRow(0, 1, pairs(0, .1))
-	c.PutRow(1, 1, pairs(1, .1))
-	c.GetRow(0, 1) // touch 0 so 1 is the LRU victim
-	c.PutRow(2, 1, pairs(2, .1))
-	if _, ok := c.GetRow(1, 1); ok {
+	c.PutRow(0, 1, pairs(0, .1), 0)
+	c.PutRow(1, 1, pairs(1, .1), 0)
+	c.GetRow(0, 1, 0) // touch 0 so 1 is the LRU victim
+	c.PutRow(2, 1, pairs(2, .1), 0)
+	if _, ok := c.GetRow(1, 1, 0); ok {
 		t.Fatal("LRU row 1 survived eviction")
 	}
-	if _, ok := c.GetRow(0, 1); !ok {
+	if _, ok := c.GetRow(0, 1, 0); !ok {
 		t.Fatal("recently-used row 0 was evicted")
 	}
 	if st := c.Stats(); st.Evictions != 1 || st.Rows != 2 {
@@ -83,20 +84,20 @@ func TestLRUEviction(t *testing.T) {
 func TestInvalidateRowsIsSurgical(t *testing.T) {
 	c := New(8)
 	for r := 0; r < 4; r++ {
-		c.PutRow(r, 1, pairs(r, .1))
+		c.PutRow(r, 1, pairs(r, .1), 0)
 	}
-	c.PutGlobal(3, pairs(99, .9, .8, .7))
-	c.InvalidateRows([]int{1, 3, 7}) // 7 is not cached: a no-op
+	c.PutGlobal(3, pairs(99, .9, .8, .7), 0)
+	c.InvalidateRows([]int{1, 3, 7}, 1) // 7 is not cached: a no-op
 
 	for _, tc := range []struct {
 		row  int
 		want bool
 	}{{0, true}, {1, false}, {2, true}, {3, false}} {
-		if _, ok := c.GetRow(tc.row, 1); ok != tc.want {
+		if _, ok := c.GetRow(tc.row, 1, 1); ok != tc.want {
 			t.Fatalf("after invalidation row %d cached=%v, want %v", tc.row, ok, tc.want)
 		}
 	}
-	if _, ok := c.GetGlobal(3); ok {
+	if _, ok := c.GetGlobal(3, 1); ok {
 		t.Fatal("global survived a non-empty dirty set")
 	}
 	if st := c.Stats(); st.InvalidatedRows != 2 {
@@ -104,22 +105,22 @@ func TestInvalidateRowsIsSurgical(t *testing.T) {
 	}
 
 	// An empty dirty set keeps everything (no similarity bits changed).
-	c.PutGlobal(1, pairs(99, .9))
-	c.InvalidateRows(nil)
-	if _, ok := c.GetGlobal(1); !ok {
+	c.PutGlobal(1, pairs(99, .9), 1)
+	c.InvalidateRows(nil, 2)
+	if _, ok := c.GetGlobal(1, 2); !ok {
 		t.Fatal("empty dirty set dropped the global entry")
 	}
 }
 
 func TestFlushDropsEverything(t *testing.T) {
 	c := New(8)
-	c.PutRow(0, 1, pairs(0, .1))
-	c.PutGlobal(1, pairs(9, .9))
-	c.Flush()
-	if _, ok := c.GetRow(0, 1); ok {
+	c.PutRow(0, 1, pairs(0, .1), 0)
+	c.PutGlobal(1, pairs(9, .9), 0)
+	c.Flush(1)
+	if _, ok := c.GetRow(0, 1, 1); ok {
 		t.Fatal("row survived Flush")
 	}
-	if _, ok := c.GetGlobal(1); ok {
+	if _, ok := c.GetGlobal(1, 1); ok {
 		t.Fatal("global survived Flush")
 	}
 	if st := c.Stats(); st.Flushes != 1 || st.Rows != 0 {
@@ -129,14 +130,85 @@ func TestFlushDropsEverything(t *testing.T) {
 
 func TestGlobalReplaceAndUpgrade(t *testing.T) {
 	c := New(2)
-	c.PutGlobal(2, pairs(9, .9, .8))
-	if _, ok := c.GetGlobal(5); ok {
+	c.PutGlobal(2, pairs(9, .9, .8), 0)
+	if _, ok := c.GetGlobal(5, 0); ok {
 		t.Fatal("k=5 served from full k=2 global entry")
 	}
-	c.PutGlobal(5, pairs(9, .9, .8, .7, .6, .5))
-	got, ok := c.GetGlobal(2)
+	c.PutGlobal(5, pairs(9, .9, .8, .7, .6, .5), 0)
+	got, ok := c.GetGlobal(2, 0)
 	if !ok || len(got) != 2 {
 		t.Fatalf("upgraded global entry does not serve k=2: %v, %v", got, ok)
+	}
+}
+
+// The MVCC contract: entries answer a reader exactly when the row
+// provably did not change between the entry's epoch and the reader's.
+func TestEpochValidity(t *testing.T) {
+	c := New(8)
+
+	// Entry computed at epoch 2; row 0 never dirtied.
+	c.PutRow(0, 1, pairs(0, .5), 2)
+	// A reader on an older view may still use it: row unchanged.
+	if _, ok := c.GetRow(0, 1, 1); !ok {
+		t.Fatal("unchanged row not served to an older-epoch reader")
+	}
+	// Row dirtied at epoch 5: the entry is dead for everyone.
+	c.InvalidateRows([]int{0}, 5)
+	if _, ok := c.GetRow(0, 1, 9); ok {
+		t.Fatal("dirty row served from a pre-dirty entry")
+	}
+
+	// A stale in-flight Put (computed on the epoch-2 view, landing after
+	// the epoch-5 publish) must be rejected...
+	c.PutRow(0, 1, pairs(0, .4), 2)
+	if _, ok := c.GetRow(0, 1, 9); ok {
+		t.Fatal("stale post-invalidation Put was admitted")
+	}
+	// ...while a fresh Put at epoch 5+ serves epoch-5+ readers.
+	c.PutRow(0, 1, pairs(0, .7), 5)
+	if _, ok := c.GetRow(0, 1, 5); !ok {
+		t.Fatal("fresh entry not served at its own epoch")
+	}
+	if _, ok := c.GetRow(0, 1, 7); !ok {
+		t.Fatal("fresh entry not served at a later epoch")
+	}
+	// An epoch-4 reader predates the change: its view's row differs from
+	// the entry's, so it must rescan.
+	if _, ok := c.GetRow(0, 1, 4); ok {
+		t.Fatal("pre-change reader served a post-change entry")
+	}
+
+	// A Put must never downgrade a newer resident entry.
+	c.PutRow(0, 1, pairs(0, .1), 3)
+	got, ok := c.GetRow(0, 1, 6)
+	if !ok || got[0].Score != .7 {
+		t.Fatalf("older Put displaced newer entry: %v %v", got, ok)
+	}
+
+	// Global follows the same arithmetic.
+	c.PutGlobal(1, pairs(9, .9), 5)
+	if _, ok := c.GetGlobal(1, 4); ok {
+		t.Fatal("pre-change reader served post-change global")
+	}
+	if _, ok := c.GetGlobal(1, 6); !ok {
+		t.Fatal("fresh global not served")
+	}
+}
+
+// Flush fences off everything computed before it, at every epoch.
+func TestFlushFloor(t *testing.T) {
+	c := New(8)
+	c.Flush(10)
+	c.PutRow(0, 1, pairs(0, .5), 9) // stale in-flight Put from before
+	if _, ok := c.GetRow(0, 1, 12); ok {
+		t.Fatal("pre-flush Put admitted")
+	}
+	c.PutRow(0, 1, pairs(0, .6), 10)
+	if _, ok := c.GetRow(0, 1, 12); !ok {
+		t.Fatal("post-flush entry rejected")
+	}
+	if _, ok := c.GetRow(0, 1, 9); ok {
+		t.Fatal("pre-flush reader served a post-flush entry")
 	}
 }
 
@@ -144,18 +216,20 @@ func TestGlobalReplaceAndUpgrade(t *testing.T) {
 // invalidates must be race-free (run under -race in CI).
 func TestConcurrentAccess(t *testing.T) {
 	c := New(16)
+	var epoch atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
 		go func(seed int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
+				at := epoch.Load()
 				row := (seed + i) % 32
-				if _, ok := c.GetRow(row, 3); !ok {
-					c.PutRow(row, 3, pairs(row, .3, .2, .1))
+				if _, ok := c.GetRow(row, 3, at); !ok {
+					c.PutRow(row, 3, pairs(row, .3, .2, .1), at)
 				}
-				if _, ok := c.GetGlobal(3); !ok {
-					c.PutGlobal(3, pairs(99, .3, .2, .1))
+				if _, ok := c.GetGlobal(3, at); !ok {
+					c.PutGlobal(3, pairs(99, .3, .2, .1), at)
 				}
 			}
 		}(w * 7)
@@ -164,9 +238,10 @@ func TestConcurrentAccess(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 500; i++ {
-			c.InvalidateRows([]int{i % 32, (i + 5) % 32})
+			at := epoch.Add(1)
+			c.InvalidateRows([]int{i % 32, (i + 5) % 32}, at)
 			if i%100 == 0 {
-				c.Flush()
+				c.Flush(at)
 			}
 		}
 	}()
@@ -179,8 +254,8 @@ func TestConcurrentAccess(t *testing.T) {
 
 func TestNewClampsCapacity(t *testing.T) {
 	c := New(0)
-	c.PutRow(0, 1, pairs(0, .1))
-	c.PutRow(1, 1, pairs(1, .1))
+	c.PutRow(0, 1, pairs(0, .1), 0)
+	c.PutRow(1, 1, pairs(1, .1), 0)
 	if st := c.Stats(); st.Rows != 1 {
 		t.Fatalf("capacity clamp failed: %d rows cached", st.Rows)
 	}
@@ -188,8 +263,8 @@ func TestNewClampsCapacity(t *testing.T) {
 
 func ExampleTopK() {
 	c := New(1024)
-	c.PutRow(7, 2, []metrics.Pair{{A: 7, B: 3, Score: 0.41}, {A: 7, B: 9, Score: 0.12}})
-	top, _ := c.GetRow(7, 1)
+	c.PutRow(7, 2, []metrics.Pair{{A: 7, B: 3, Score: 0.41}, {A: 7, B: 9, Score: 0.12}}, 0)
+	top, _ := c.GetRow(7, 1, 0)
 	fmt.Println(top[0].B)
 	// Output: 3
 }

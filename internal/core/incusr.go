@@ -25,11 +25,19 @@ type Stats struct {
 	// DirtyRows lists the rows of S the update wrote, unsorted — a
 	// superset of the rows whose bits actually changed (an accumulation
 	// can round to a no-op) and exactly the invalidation set a per-row
-	// query cache needs. This is the data already tracked for
-	// AffectedPairs, exposed instead of discarded; Inc-SR reports the
-	// pruned support, Inc-uSR every row with a non-zero delta. The slice
-	// aliases workspace scratch: it is valid only until the next update
-	// through the same Workspace (copy it to retain).
+	// query cache — and the re-sync set a copy-on-write store — needs.
+	// This is the data already tracked for AffectedPairs, exposed
+	// instead of discarded; Inc-SR reports the pruned support, Inc-uSR
+	// every row with a non-zero delta.
+	//
+	// Lifetime contract: the slice aliases workspace scratch and is
+	// valid only from the update's return until the next update through
+	// the same Workspace — the very next IncSR/IncUSR call rewrites the
+	// backing array in place. Consumers must either finish with it
+	// before then (the engine threads it into its cache and store
+	// bookkeeping synchronously, inside the same mutation) or detach a
+	// copy at a well-defined point (the MVCC facade snapshots it once,
+	// at view-publish time). Never store the slice itself.
 	DirtyRows []int
 }
 
@@ -179,11 +187,15 @@ func (ws *Workspace) IncUSR(s SimStore, up graph.Update, c float64, k int) (Stat
 		}
 		// Any exactly non-zero delta dirties the row: deltas inside
 		// (0, ZeroTol] are still added to S, so a tolerance-based test
-		// here would let a cache serve stale bits.
+		// here would let a cache serve stale bits. Zero deltas are
+		// skipped outright — adding 0.0 cannot change a stored value,
+		// and the skip is what keeps a copy-on-write store's write set
+		// equal to the dirty set (an unconditional AddSym over all n²/2
+		// pairs would COW the entire sealed store on every update).
 		if d != 0 {
 			ws.markDirty(a)
+			s.Add(a, a, d)
 		}
-		s.Add(a, a, d)
 		for b := a + 1; b < n; b++ {
 			d := mrow[b] + m.At(b, a)
 			if d > ZeroTol || d < -ZeroTol {
@@ -192,8 +204,8 @@ func (ws *Workspace) IncUSR(s SimStore, up graph.Update, c float64, k int) (Stat
 			if d != 0 {
 				ws.markDirty(a)
 				ws.markDirty(b)
+				s.AddSym(a, b, d)
 			}
-			s.AddSym(a, b, d)
 		}
 	}
 	ws.vws.reset()

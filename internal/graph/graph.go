@@ -28,7 +28,74 @@ type DiGraph struct {
 	out []map[int]struct{}
 	in  []map[int]struct{}
 	m   int // number of edges
+
+	// outShared is the copy-on-write ledger behind Seal, nil until the
+	// first Seal (a never-sealed graph mutates fully in place).
+	// outShared[i] means row i's out-map is referenced by at least one
+	// sealed Snapshot, so a mutation of that row clones the map first.
+	// Only the out-adjacency is sealed: snapshots serve HasEdge and
+	// Edges, both out-side; the in-adjacency stays writer-private.
+	outShared []bool
 }
+
+// Snapshot is an immutable point-in-time view of a graph's topology,
+// produced by Seal: any number of goroutines may query it while the
+// writer keeps mutating the original. It carries exactly the read
+// surface the MVCC view needs — size, edge membership and edge
+// enumeration (for snapshot serialization).
+type Snapshot struct {
+	n, m int
+	out  []map[int]struct{}
+}
+
+// Seal returns an immutable snapshot sharing the current out-adjacency:
+// O(n) pointer copies, no per-edge work. Subsequent writer mutations
+// clone each touched row before changing it, so the snapshot never
+// observes them.
+func (g *DiGraph) Seal() *Snapshot {
+	if len(g.outShared) != g.n {
+		g.outShared = make([]bool, g.n)
+	}
+	for i := range g.outShared {
+		g.outShared[i] = true
+	}
+	return &Snapshot{n: g.n, m: g.m, out: append([]map[int]struct{}(nil), g.out...)}
+}
+
+// ownOut makes row i's out-map exclusively the writer's, cloning it if a
+// sealed snapshot still references it. Called before every row mutation;
+// free (one nil check) on graphs never sealed.
+func (g *DiGraph) ownOut(i int) {
+	if g.outShared == nil || i >= len(g.outShared) || !g.outShared[i] {
+		return
+	}
+	dup := make(map[int]struct{}, len(g.out[i])+1)
+	for j := range g.out[i] {
+		dup[j] = struct{}{}
+	}
+	g.out[i] = dup
+	g.outShared[i] = false
+}
+
+// N returns the number of nodes.
+func (s *Snapshot) N() int { return s.n }
+
+// M returns the number of edges.
+func (s *Snapshot) M() int { return s.m }
+
+// HasEdge reports whether edge (i, j) exists; out-of-range nodes have no
+// edges (snapshots never panic — they serve the lock-free query path).
+func (s *Snapshot) HasEdge(i, j int) bool {
+	if i < 0 || i >= s.n || j < 0 || j >= s.n {
+		return false
+	}
+	_, ok := s.out[i][j]
+	return ok
+}
+
+// Edges returns all edges sorted by (From, To) — the same enumeration
+// DiGraph.Edges produces, from the sealed topology.
+func (s *Snapshot) Edges() []Edge { return sortedEdges(s.n, s.m, s.out) }
 
 // New returns an empty directed graph with n nodes.
 func New(n int) *DiGraph {
@@ -101,6 +168,7 @@ func (g *DiGraph) AddEdge(i, j int) bool {
 	if _, ok := g.out[i][j]; ok {
 		return false
 	}
+	g.ownOut(i)
 	g.out[i][j] = struct{}{}
 	g.in[j][i] = struct{}{}
 	g.m++
@@ -114,6 +182,7 @@ func (g *DiGraph) RemoveEdge(i, j int) bool {
 	if _, ok := g.out[i][j]; !ok {
 		return false
 	}
+	g.ownOut(i)
 	delete(g.out[i], j)
 	delete(g.in[j], i)
 	g.m--
@@ -170,10 +239,16 @@ func sortedKeys(s map[int]struct{}) []int {
 }
 
 // Edges returns all edges sorted by (From, To).
-func (g *DiGraph) Edges() []Edge {
-	es := make([]Edge, 0, g.m)
-	for i := 0; i < g.n; i++ {
-		for j := range g.out[i] {
+func (g *DiGraph) Edges() []Edge { return sortedEdges(g.n, g.m, g.out) }
+
+// sortedEdges enumerates an out-adjacency into the canonical (From, To)
+// order — shared by the live graph and sealed snapshots, so the
+// snapshot file format sees one enumeration no matter which side
+// serialized it.
+func sortedEdges(n, m int, out []map[int]struct{}) []Edge {
+	es := make([]Edge, 0, m)
+	for i := 0; i < n; i++ {
+		for j := range out[i] {
 			es = append(es, Edge{i, j})
 		}
 	}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -287,4 +288,89 @@ func TestQuickBackwardTransitionStochastic(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// Sealed snapshots must be frozen at seal time while the writer keeps
+// mutating — including across AddNodes growth and repeated seals.
+func TestSealSnapshotIsolation(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+
+	s1 := g.Seal()
+	if s1.N() != 5 || s1.M() != 3 || !s1.HasEdge(0, 1) || s1.HasEdge(1, 0) {
+		t.Fatal("snapshot does not reflect seal-time state")
+	}
+
+	g.AddEdge(0, 2)
+	g.RemoveEdge(0, 1)
+	first := g.AddNodes(2)
+	g.AddEdge(first, 0)
+
+	if !s1.HasEdge(0, 1) || s1.HasEdge(0, 2) || s1.HasEdge(first, 0) || s1.N() != 5 || s1.M() != 3 {
+		t.Fatal("snapshot observed post-seal mutations")
+	}
+	// Out-of-range queries on a snapshot answer false, never panic.
+	if s1.HasEdge(-1, 0) || s1.HasEdge(0, 99) || s1.HasEdge(first, first) {
+		t.Fatal("out-of-range snapshot HasEdge not false")
+	}
+
+	s2 := g.Seal()
+	if s2.N() != 7 || s2.M() != 4 || !s2.HasEdge(first, 0) || s2.HasEdge(0, 1) {
+		t.Fatal("second snapshot wrong")
+	}
+	// Edge enumeration matches the live graph's, sorted identically.
+	want := g.Edges()
+	got := s2.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("snapshot Edges len %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot Edges[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// s1 still frozen after the second seal round.
+	if !s1.HasEdge(0, 1) || s1.M() != 3 {
+		t.Fatal("first snapshot corrupted by second seal cycle")
+	}
+}
+
+// Concurrent snapshot readers against a live writer must be race-free
+// (run under -race) and always see their sealed state.
+func TestSealConcurrentReaders(t *testing.T) {
+	g := New(32)
+	for i := 0; i < 31; i++ {
+		g.AddEdge(i, i+1)
+	}
+	snap := g.Seal()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if !snap.HasEdge(3, 4) || snap.HasEdge(4, 3) || snap.M() != 31 {
+					t.Error("snapshot drifted under concurrent writes")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		g.RemoveEdge(i%31, i%31+1)
+		g.AddEdge(i%31, i%31+1)
+		if i%100 == 0 {
+			g.Seal() // fresh seals must not disturb older snapshots either
+		}
+	}
+	close(done)
+	wg.Wait()
 }

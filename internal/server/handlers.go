@@ -42,7 +42,8 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
-// GET /similarity?a=0&b=1 — one score, served under the read lock.
+// GET /similarity?a=0&b=1 — one score, served lock-free off the
+// current MVCC view.
 func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	a, err := intParam(r, "a", -1)
 	if err != nil {
@@ -119,9 +120,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// GET /healthz — liveness.
+// GET /healthz — pure liveness: the process is up and serving HTTP.
+// Deliberately engine-free, so an orchestrator never restarts a pod
+// that is merely still restoring a large snapshot; that state is
+// /readyz's to report.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// GET /readyz — readiness: 503 until the engine is booted (-restore
+// replayed, initial batch computation done) and its first MVCC view is
+// published; 200 with the serving epoch afterwards. Load balancers and
+// rollout gates watch this one.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.engineReady() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Ready: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Epoch: s.eng.ViewInfo().Epoch})
 }
 
 // POST /updates[?wait=1] — enqueue one update or an array of them onto
@@ -192,8 +208,8 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// POST /nodes {"count":2} — grow the graph by isolated nodes. This takes
-// the write lock directly (it is rare and O(n²) anyway). It is NOT
+// POST /nodes {"count":2} — grow the graph by isolated nodes. This
+// goes through the writer mutex directly (it is rare and O(n²) anyway). It is NOT
 // ordered relative to updates already queued in the pipeline: a
 // fire-and-forget update that references the new ids and was enqueued
 // before this call may still be rejected. The supported pattern is the
@@ -227,8 +243,10 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, NodesResponse{First: first, Nodes: s.eng.N()})
 }
 
-// POST /snapshot — atomically persist the engine to the configured path,
-// under the read lock (queries keep flowing; only writers briefly wait).
+// POST /snapshot — atomically persist the engine to the configured
+// path, serialized from a pinned MVCC view: queries keep flowing AND
+// the write pipeline keeps committing while the bytes stream out (the
+// file captures the view's epoch; later commits are not in it).
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.SnapshotPath == "" {
 		writeError(w, http.StatusConflict, errors.New("no snapshot path configured (start with -snapshot)"))

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	simrank "repro"
+)
+
+// A pending server must be alive but not ready: /healthz 200, /readyz
+// 503, every engine-backed endpoint 503 — then flip wholesale on
+// Attach, with /readyz reporting the serving epoch.
+func TestPendingServerReadiness(t *testing.T) {
+	srv := NewPending(Config{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("pending /healthz = %d, want 200 (liveness is engine-free)", code)
+	}
+	var ready ReadyResponse
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusServiceUnavailable {
+		t.Fatalf("pending /readyz = %d, want 503", code)
+	}
+	for _, ep := range []string{"/similarity?a=0&b=1", "/topk", "/topkfor?node=0", "/stats"} {
+		if code := getJSON(t, ts.URL+ep, nil); code != http.StatusServiceUnavailable {
+			t.Fatalf("pending %s = %d, want 503", ep, code)
+		}
+	}
+	if code := postJSON(t, ts.URL+"/updates", UpdateJSON{From: 0, To: 1}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("pending POST /updates = %d, want 503", code)
+	}
+
+	eng, err := simrank.NewConcurrentEngine(4, []simrank.Edge{{From: 0, To: 1}, {From: 2, To: 1}}, simrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Attach(eng)
+
+	var readyNow ReadyResponse
+	if code := getJSON(t, ts.URL+"/readyz", &readyNow); code != http.StatusOK || !readyNow.Ready {
+		t.Fatalf("attached /readyz = %d %+v, want 200 ready", code, readyNow)
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK || st.Nodes != 4 {
+		t.Fatalf("attached /stats = %d %+v", code, st)
+	}
+}
+
+// /stats must surface the MVCC gauges, and the epoch must advance once
+// per committed write while views_published keeps pace.
+func TestStatsEpochAdvances(t *testing.T) {
+	_, _, ts := newTestServer(t, 6, Config{})
+
+	var st0 StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st0); code != http.StatusOK {
+		t.Fatalf("/stats = %d", code)
+	}
+	if st0.Epoch != 0 || st0.ViewsPublished < 1 {
+		t.Fatalf("boot stats: epoch=%d views=%d, want 0 and >=1", st0.Epoch, st0.ViewsPublished)
+	}
+	if st0.ViewAgeMS < 0 {
+		t.Fatalf("view_age_ms negative: %v", st0.ViewAgeMS)
+	}
+
+	// One synchronous write = one committed mutation = epoch +1.
+	if code := postJSON(t, ts.URL+"/updates?wait=1", UpdateJSON{From: 0, To: 2}, nil); code != http.StatusOK {
+		t.Fatalf("write = %d", code)
+	}
+	var st1 StatsResponse
+	getJSON(t, ts.URL+"/stats", &st1)
+	if st1.Epoch != st0.Epoch+1 {
+		t.Fatalf("epoch after one write = %d, want %d", st1.Epoch, st0.Epoch+1)
+	}
+	if st1.ViewsPublished <= st0.ViewsPublished {
+		t.Fatalf("views_published did not advance: %d -> %d", st0.ViewsPublished, st1.ViewsPublished)
+	}
+
+	// /readyz reports the same serving epoch.
+	var ready ReadyResponse
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusOK || ready.Epoch != st1.Epoch {
+		t.Fatalf("/readyz = %d %+v, want epoch %d", code, ready, st1.Epoch)
+	}
+}
+
+// Closing a never-attached pending server must be a clean no-op.
+func TestPendingServerClose(t *testing.T) {
+	srv := NewPending(Config{SnapshotPath: t.TempDir() + "/never.simr"})
+	if err := srv.Close(); err != nil {
+		t.Fatalf("pending Close: %v", err)
+	}
+}

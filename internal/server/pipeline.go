@@ -1,10 +1,12 @@
 // Package server exposes a simrank.ConcurrentEngine over HTTP/JSON:
-// lock-free query endpoints served off the engine's read lock, and a
-// write path that never takes the write lock per request — incoming
+// query endpoints served lock-free off the engine's published MVCC
+// views (readers never wait on writers, or vice versa), and a write
+// path that never touches the writer mutex per request — incoming
 // updates flow through an asynchronous coalescing pipeline that folds
-// everything queued into one ApplyBatch per drain cycle. Burst traffic
-// therefore pays one lock acquisition per cycle, and a large enough
-// burst crosses ApplyBatch's recompute threshold exactly as Exp-1 of the
+// everything queued into one ApplyBatch per drain cycle, published as
+// one new view. Burst traffic therefore pays one writer-mutex
+// acquisition and one view publish per cycle, and a large enough burst
+// crosses ApplyBatch's recompute threshold exactly as Exp-1 of the
 // paper prescribes (batch recomputation beats folding unit updates once
 // the batch is a sizable fraction of |E|).
 package server
@@ -46,9 +48,9 @@ type pipelineStats struct {
 // a buffered channel and returns immediately; a single drain goroutine
 // takes the first queued request, greedily gathers everything else that
 // has arrived (up to maxBatch updates), and commits the lot through one
-// apply call. Because the drain goroutine is the only writer, the
-// engine's write lock is taken once per cycle no matter how many
-// requests coalesced into it.
+// apply call. Because the drain goroutine is the only writer, one MVCC
+// view is published per cycle no matter how many requests coalesced
+// into it.
 type pipeline struct {
 	apply    func([]simrank.Update) error
 	reqs     chan writeReq
@@ -86,8 +88,8 @@ func newPipeline(apply func([]simrank.Update) error, queueSize, maxBatch int, wi
 
 // submit enqueues one write request. When wait is true the returned
 // channel receives the commit result after the request's batch has been
-// applied (and the engine's write lock released), so a subsequent read
-// is guaranteed to observe the update.
+// applied and its view published, so a subsequent read is guaranteed to
+// observe the update.
 func (p *pipeline) submit(ups []simrank.Update, wait bool) (<-chan error, error) {
 	p.mu.Lock()
 	if p.closed {

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	simrank "repro"
@@ -41,12 +43,19 @@ type Config struct {
 const defaultMaxNodes = 1 << 14
 
 // Server serves a simrank.ConcurrentEngine over HTTP/JSON. Reads go
-// straight to the engine under its read lock; writes go through the
-// coalescing pipeline. Create with New, install as an http.Handler, and
-// Close on shutdown to drain queued writes and persist a final snapshot.
+// straight to the engine's lock-free MVCC read views; writes go through
+// the coalescing pipeline. Create with New (engine in hand) or
+// NewPending + Attach (listen first, boot the engine behind /readyz),
+// install as an http.Handler, and Close on shutdown to drain queued
+// writes and persist a final snapshot.
 type Server struct {
+	// eng and pipe are written once by Attach, before ready flips true;
+	// handlers read them only after observing ready, so the fields need
+	// no further synchronization.
 	eng   *simrank.ConcurrentEngine
 	pipe  *pipeline
+	ready atomic.Bool
+
 	mux   *http.ServeMux
 	cfg   Config
 	start time.Time
@@ -67,29 +76,75 @@ type Server struct {
 	closeErr  error
 }
 
-// New builds a Server over eng. The caller must not write to eng
+// New builds a ready Server over eng. The caller must not write to eng
 // directly afterwards — all mutations must flow through the server so
 // the pipeline's coalescing and shutdown guarantees hold.
 func New(eng *simrank.ConcurrentEngine, cfg Config) *Server {
+	s := NewPending(cfg)
+	s.Attach(eng)
+	return s
+}
+
+// NewPending builds a Server with no engine yet: /healthz answers (the
+// process is live), /readyz reports not-ready, and every other endpoint
+// answers 503. The deployment shape this exists for: bind the listener
+// immediately, boot the engine (a -restore or a large batch computation
+// can take a while), then Attach — load balancers watch /readyz and
+// hold traffic until the first view is published.
+func NewPending(cfg Config) *Server {
 	if cfg.MaxNodes <= 0 {
 		cfg.MaxNodes = defaultMaxNodes
 	}
 	s := &Server{
-		eng:   eng,
 		cfg:   cfg,
 		start: time.Now(),
 	}
-	s.pipe = newPipeline(eng.ApplyBatch, cfg.QueueSize, cfg.MaxBatch, cfg.BatchWindow)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /similarity", s.handleSimilarity)
-	s.mux.HandleFunc("GET /topk", s.handleTopK)
-	s.mux.HandleFunc("GET /topkfor", s.handleTopKFor)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	// Every engine-backed endpoint goes through requireReady, so a
+	// handler added later cannot forget the pending-server gate; only
+	// the liveness and readiness probes are served engine-free.
+	s.mux.HandleFunc("GET /similarity", s.requireReady(s.handleSimilarity))
+	s.mux.HandleFunc("GET /topk", s.requireReady(s.handleTopK))
+	s.mux.HandleFunc("GET /topkfor", s.requireReady(s.handleTopKFor))
+	s.mux.HandleFunc("GET /stats", s.requireReady(s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /updates", s.handleUpdates)
-	s.mux.HandleFunc("POST /nodes", s.handleNodes)
-	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /updates", s.requireReady(s.handleUpdates))
+	s.mux.HandleFunc("POST /nodes", s.requireReady(s.handleNodes))
+	s.mux.HandleFunc("POST /snapshot", s.requireReady(s.handleSnapshot))
 	return s
+}
+
+// Attach hands the booted engine to a pending server and flips it
+// ready. Call exactly once; the caller must not write to eng directly
+// afterwards. The engine arrives with its first view already published
+// (WrapEngine/NewConcurrentEngine publish at construction), so ready
+// implies queryable.
+func (s *Server) Attach(eng *simrank.ConcurrentEngine) {
+	if s.ready.Load() {
+		panic("server: Attach called twice")
+	}
+	s.eng = eng
+	s.pipe = newPipeline(eng.ApplyBatch, s.cfg.QueueSize, s.cfg.MaxBatch, s.cfg.BatchWindow)
+	s.ready.Store(true)
+}
+
+// errNotReady answers every engine-backed endpoint before Attach.
+var errNotReady = errors.New("engine is still booting (watch /readyz)")
+
+// engineReady gates handlers on Attach having completed.
+func (s *Server) engineReady() bool { return s.ready.Load() }
+
+// requireReady wraps an engine-backed handler with the 503-until-Attach
+// gate of the pending-boot flow.
+func (s *Server) requireReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.engineReady() {
+			writeError(w, http.StatusServiceUnavailable, errNotReady)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP makes Server an http.Handler.
@@ -105,6 +160,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // http.Server.Shutdown) so no accepted write is ever dropped.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		if !s.engineReady() {
+			// Never attached: nothing queued, nothing worth persisting.
+			s.snapMu.Lock()
+			s.snapDone = true
+			s.snapMu.Unlock()
+			return
+		}
 		s.pipe.close()
 		s.snapMu.Lock()
 		defer s.snapMu.Unlock()
@@ -116,16 +178,24 @@ func (s *Server) Close() error {
 	return s.closeErr
 }
 
-// Stats returns the current counters (also served as GET /stats).
+// Stats returns the current counters (also served as GET /stats). Only
+// valid on a ready server; the /stats handler gates on that. Everything
+// view-derived (size, backend, store bytes, epoch gauges) comes from
+// ONE ViewInfo reading, so a response cannot report an epoch alongside
+// another epoch's node counts.
 func (s *Server) Stats() StatsResponse {
 	st := &s.pipe.stats
-	n, m := s.eng.Size()
-	cs := s.eng.CacheStats()
+	vi := s.eng.ViewInfo()
+	cs := vi.Cache
 	return StatsResponse{
-		Nodes:           n,
-		Edges:           m,
-		Backend:         string(s.eng.Backend()),
-		StoreBytes:      s.eng.StoreMemBytes(),
+		Nodes:           vi.N,
+		Edges:           vi.M,
+		Backend:         string(vi.Backend),
+		StoreBytes:      vi.StoreBytes,
+		Epoch:           vi.Epoch,
+		ViewAgeMS:       float64(vi.Age.Microseconds()) / 1e3,
+		InflightReaders: vi.Readers,
+		ViewsPublished:  vi.Published,
 		UpdatesEnqueued: st.enqueued.Load(),
 		UpdatesApplied:  st.applied.Load(),
 		UpdatesRejected: st.rejected.Load(),

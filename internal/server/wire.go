@@ -139,6 +139,17 @@ type StatsResponse struct {
 	Backend    string `json:"backend"`
 	StoreBytes int64  `json:"store_bytes"`
 
+	// MVCC read-path gauges. Epoch is the published view's version
+	// (strictly monotone, +1 per committed mutation); ViewAgeMS is how
+	// long ago that view was published — how stale the data a fresh read
+	// observes can be, normally bounded by the write inter-arrival time;
+	// InflightReaders counts calls inside the current view right now;
+	// ViewsPublished counts publishes over the process lifetime.
+	Epoch           uint64  `json:"epoch"`
+	ViewAgeMS       float64 `json:"view_age_ms"`
+	InflightReaders int64   `json:"inflight_readers"`
+	ViewsPublished  int64   `json:"views_published"`
+
 	UpdatesEnqueued int64 `json:"updates_enqueued"`
 	UpdatesApplied  int64 `json:"updates_applied"`
 	UpdatesRejected int64 `json:"updates_rejected"`
@@ -162,6 +173,15 @@ type StatsResponse struct {
 	CachedRows           int   `json:"cached_rows"`
 
 	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ReadyResponse answers GET /readyz: Ready is false (with a 503) until
+// the engine is booted/restored and its first MVCC view is published,
+// after which Epoch reports the serving view's version. /healthz stays
+// pure liveness — a booting process is alive but not ready.
+type ReadyResponse struct {
+	Ready bool   `json:"ready"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -73,6 +73,17 @@ func (a *Approx) Estimator() *montecarlo.Estimator { return a.est }
 // N returns the node count.
 func (a *Approx) N() int { return a.idx.N() }
 
+// Seal returns the receiver: the sampling store is already immutable
+// (its estimator's RNG is internally locked), so every epoch's view is
+// the store itself.
+func (a *Approx) Seal() Store { return a }
+
+// Writable reports false: the sampling tier rejects all mutation.
+func (a *Approx) Writable() bool { return false }
+
+// MarkRowsDirty is a no-op: nothing is ever written.
+func (a *Approx) MarkRowsDirty([]int) {}
+
 // At estimates s(i, j) with the store's walk budget. Safe for
 // concurrent readers (the estimator's RNG is locked); deterministic only
 // under a sequential fixed-seed run.

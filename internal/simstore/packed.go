@@ -10,16 +10,50 @@ import "repro/internal/matrix"
 // memory, and the store halves the serving footprint of every exact
 // engine.
 //
+// The triangle is held in row-aligned chunks (each chunk a run of whole
+// rows' packed segments, ~packedChunkFloats floats) so the store can be
+// sealed copy-on-write for the MVCC read path: Seal shares every chunk
+// with the returned immutable view, and the writer duplicates a chunk
+// the first time it lands a write in it after a Seal. A store that is
+// never sealed never copies a chunk — the exact-update hot path stays
+// allocation-free — and a sealed view's chunks are never written in
+// place, so any number of views of any age read safely with no reader
+// tracking at all.
+//
 // Row materializes into a single reusable scratch buffer (allocated at
 // construction), preserving the warm-Apply zero-allocation guarantee;
 // concurrent readers must use ConcurrentRow/UpperRow/At, which never
 // touch the scratch.
 type Packed struct {
 	n     int
-	start []int     // start[i] = packed offset of (i, i)
-	data  []float64 // len n(n+1)/2, upper triangle row-major
-	row   []float64 // scratch for Row (single-writer contract)
+	start []int // start[i] = packed offset of (i, i)
+
+	// Chunked triangle payload. rowChunk[i] names the chunk holding row
+	// i's packed segment; chunkOff[c] is the global packed offset where
+	// chunk c begins. All three index tables are immutable after
+	// construction and shared with sealed views.
+	rowChunk []int
+	chunkOff []int
+	chunks   [][]float64
+
+	// owned is nil until the first Seal (never-sealed stores skip COW
+	// entirely); afterwards owned[c] reports that chunk c is exclusively
+	// the writer's. Seal clears it; a write into a shared chunk
+	// duplicates the chunk first.
+	owned []bool
+
+	// sealed marks this instance as an immutable view: every mutation
+	// panics, Seal returns the receiver, Row materializes fresh.
+	sealed bool
+
+	row []float64 // scratch for Row (single-writer contract)
 }
+
+// packedChunkFloats is the COW granularity target: ~64 KiB of payload
+// per chunk. Chunks hold whole rows so UpperRow can keep returning a
+// contiguous alias; a single row longer than the target becomes its own
+// chunk.
+const packedChunkFloats = 8192
 
 // NewPacked returns a zeroed n-node packed store.
 func NewPacked(n int) *Packed {
@@ -27,21 +61,35 @@ func NewPacked(n int) *Packed {
 		panic("simstore: negative node count")
 	}
 	p := &Packed{
-		n:     n,
-		start: make([]int, n),
-		data:  make([]float64, n*(n+1)/2),
-		row:   make([]float64, n),
+		n:        n,
+		start:    make([]int, n),
+		rowChunk: make([]int, n),
+		row:      make([]float64, n),
 	}
 	off := 0
 	for i := 0; i < n; i++ {
 		p.start[i] = off
 		off += n - i
 	}
+	// Cut the triangle into runs of whole rows of ~packedChunkFloats.
+	chunkFirst := 0
+	for i := 0; i < n; i++ {
+		if i > chunkFirst && p.start[i]+n-i-p.start[chunkFirst] > packedChunkFloats {
+			p.chunkOff = append(p.chunkOff, p.start[chunkFirst])
+			p.chunks = append(p.chunks, make([]float64, p.start[i]-p.start[chunkFirst]))
+			chunkFirst = i
+		}
+		p.rowChunk[i] = len(p.chunks)
+	}
+	if n > 0 {
+		p.chunkOff = append(p.chunkOff, p.start[chunkFirst])
+		p.chunks = append(p.chunks, make([]float64, off-p.start[chunkFirst]))
+	}
 	return p
 }
 
-// idx maps (i, j) to its packed offset, folding the lower triangle onto
-// the upper one.
+// idx maps (i, j) to its global packed offset, folding the lower
+// triangle onto the upper one.
 func (p *Packed) idx(i, j int) int {
 	if i > j {
 		i, j = j, i
@@ -49,29 +97,110 @@ func (p *Packed) idx(i, j int) int {
 	return p.start[i] + j - i
 }
 
+// loc resolves (i, j) to its chunk and in-chunk offset.
+func (p *Packed) loc(i, j int) (c, off int) {
+	if i > j {
+		i, j = j, i
+	}
+	c = p.rowChunk[i]
+	return c, p.start[i] + j - i - p.chunkOff[c]
+}
+
+// ensureOwned duplicates chunk c if it is shared with a sealed view, so
+// the coming write cannot race that view's readers.
+func (p *Packed) ensureOwned(c int) {
+	if p.sealed {
+		panic("simstore: write to a sealed packed view")
+	}
+	if p.owned != nil && !p.owned[c] {
+		dup := make([]float64, len(p.chunks[c]))
+		copy(dup, p.chunks[c])
+		p.chunks[c] = dup
+		p.owned[c] = true
+	}
+}
+
+// Seal returns an immutable view sharing every chunk; subsequent writes
+// to the receiver copy-on-write the chunks they touch.
+func (p *Packed) Seal() Store {
+	if p.sealed {
+		return p
+	}
+	if p.owned == nil {
+		p.owned = make([]bool, len(p.chunks))
+	} else {
+		for c := range p.owned {
+			p.owned[c] = false
+		}
+	}
+	view := &Packed{
+		n:        p.n,
+		start:    p.start,
+		rowChunk: p.rowChunk,
+		chunkOff: p.chunkOff,
+		chunks:   append([][]float64(nil), p.chunks...),
+		sealed:   true,
+	}
+	return view
+}
+
+// Writable reports whether the receiver accepts mutation.
+func (p *Packed) Writable() bool { return !p.sealed }
+
+// MarkRowsDirty is a no-op: chunk sharing is tracked by the store
+// itself, write by write.
+func (p *Packed) MarkRowsDirty([]int) {}
+
 // N returns the node count.
 func (p *Packed) N() int { return p.n }
 
 // At returns s(i, j) — pure index arithmetic, safe for concurrent
 // readers.
-func (p *Packed) At(i, j int) float64 { return p.data[p.idx(i, j)] }
+func (p *Packed) At(i, j int) float64 {
+	c, off := p.loc(i, j)
+	return p.chunks[c][off]
+}
 
 // Set writes the shared cell of the unordered pair {i, j}.
-func (p *Packed) Set(i, j int, v float64) { p.data[p.idx(i, j)] = v }
+func (p *Packed) Set(i, j int, v float64) {
+	c, off := p.loc(i, j)
+	if p.sealed || p.owned != nil {
+		p.ensureOwned(c)
+	}
+	p.chunks[c][off] = v
+}
 
 // Add accumulates v into the shared cell of {i, j}.
-func (p *Packed) Add(i, j int, v float64) { p.data[p.idx(i, j)] += v }
+func (p *Packed) Add(i, j int, v float64) {
+	c, off := p.loc(i, j)
+	if p.sealed || p.owned != nil {
+		p.ensureOwned(c)
+	}
+	p.chunks[c][off] += v
+}
 
 // AddSym applies v·(e_i·e_jᵀ + e_j·e_iᵀ). Off-diagonal the two mirror
 // entries are one packed cell, which accumulates v once; the diagonal is
 // bumped twice (two sequential adds), matching the dense layout's
 // ((x+v)+v) bit for bit.
 func (p *Packed) AddSym(i, j int, v float64) {
-	k := p.idx(i, j)
-	p.data[k] += v
-	if i == j {
-		p.data[k] += v
+	c, off := p.loc(i, j)
+	if p.sealed || p.owned != nil {
+		p.ensureOwned(c)
 	}
+	p.chunks[c][off] += v
+	if i == j {
+		p.chunks[c][off] += v
+	}
+}
+
+// upperSeg returns the contiguous packed segment of row i — (i, i), …,
+// (i, n−1) — aliasing chunk storage. Chunks hold whole rows, so the
+// segment never straddles a chunk boundary.
+func (p *Packed) upperSeg(i int) []float64 {
+	c := p.rowChunk[i]
+	off := p.start[i] - p.chunkOff[c]
+	return p.chunks[c][off : off+p.n-i]
 }
 
 // rowInto materializes row i into dst: the prefix j < i gathers the
@@ -79,15 +208,21 @@ func (p *Packed) AddSym(i, j int, v float64) {
 // contiguous packed segment.
 func (p *Packed) rowInto(dst []float64, i int) {
 	for j := 0; j < i; j++ {
-		dst[j] = p.data[p.start[j]+i-j]
+		c := p.rowChunk[j]
+		dst[j] = p.chunks[c][p.start[j]+i-j-p.chunkOff[c]]
 	}
-	copy(dst[i:], p.data[p.start[i]:p.start[i]+p.n-i])
+	copy(dst[i:], p.upperSeg(i))
 }
 
 // Row materializes row i into the store's scratch buffer. The view is
 // valid until the next Row/ColInto call — the single-writer contract of
-// core.SimStore — and allocates nothing.
+// core.SimStore — and allocates nothing. On a sealed view (which has no
+// scratch, because concurrent readers would race on it) Row allocates a
+// fresh slice per call.
 func (p *Packed) Row(i int) []float64 {
+	if p.sealed {
+		return p.ConcurrentRow(i)
+	}
 	p.rowInto(p.row, i)
 	return p.row
 }
@@ -103,17 +238,19 @@ func (p *Packed) ConcurrentRow(i int) []float64 {
 
 // UpperRow returns the packed segment (a, a), …, (a, n−1) aliasing
 // storage: race-free and copy-free, the global top-k scan shape.
-func (p *Packed) UpperRow(a int) []float64 {
-	return p.data[p.start[a] : p.start[a]+p.n-a]
-}
+// Callers must not write through it on a store that has been sealed
+// (snapshot restore fills a fresh store through it, which is fine).
+func (p *Packed) UpperRow(a int) []float64 { return p.upperSeg(a) }
 
 // ColInto copies column j into dst — by symmetry, row j.
 func (p *Packed) ColInto(dst []float64, j int) { p.rowInto(dst, j) }
 
-// Clone returns an independent deep copy.
+// Clone returns an independent writable deep copy.
 func (p *Packed) Clone() Store {
 	c := NewPacked(p.n)
-	copy(c.data, p.data)
+	for i := range p.chunks {
+		copy(c.chunks[i], p.chunks[i])
+	}
 	return c
 }
 
@@ -134,29 +271,35 @@ func (p *Packed) SetFromDense(src *matrix.Dense) {
 		panic("simstore: SetFromDense dimension mismatch")
 	}
 	for i := 0; i < p.n; i++ {
-		copy(p.data[p.start[i]:p.start[i]+p.n-i], src.Row(i)[i:])
+		if p.sealed || p.owned != nil {
+			p.ensureOwned(p.rowChunk[i])
+		}
+		copy(p.upperSeg(i), src.Row(i)[i:])
 	}
 }
 
 // AddNodes returns a packed store over n+count nodes: each old row's
 // packed segment is copied into the prefix of its new (longer) segment,
-// new diagonals get diag.
+// new diagonals get diag. The result is a fresh, never-sealed store.
 func (p *Packed) AddNodes(count int, diag float64) Store {
 	next := NewPacked(p.n + count)
 	for i := 0; i < p.n; i++ {
-		copy(next.data[next.start[i]:next.start[i]+p.n-i],
-			p.data[p.start[i]:p.start[i]+p.n-i])
+		copy(next.upperSeg(i)[:p.n-i], p.upperSeg(i))
 	}
 	for v := p.n; v < next.n; v++ {
-		next.data[next.start[v]] = diag
+		next.Set(v, v, diag)
 	}
 	return next
 }
 
-// MemBytes reports the packed payload plus the offset table and row
-// scratch — ≈ 4n² + 16n bytes, about half of dense.
+// MemBytes reports the packed payload plus the offset tables and row
+// scratch — ≈ 4n² + 24n bytes, about half of dense.
 func (p *Packed) MemBytes() int64 {
-	return int64(len(p.data))*8 + int64(len(p.start))*8 + int64(len(p.row))*8
+	var payload int64
+	for _, c := range p.chunks {
+		payload += int64(len(c))
+	}
+	return payload*8 + int64(len(p.start)+len(p.rowChunk)+len(p.chunkOff))*8 + int64(len(p.row))*8
 }
 
 // Backend names the implementation.

@@ -65,11 +65,38 @@ var ErrReadOnly = errors.New("approx backend is read-only")
 // Every store is square (n×n) and logically symmetric.
 //
 // Concurrency: At, ConcurrentRow and UpperRow are safe for concurrent
-// readers (the engine's query paths run under a shared read lock). Row
-// and ColInto may use store-internal scratch — they belong to the
-// single-writer update path, and a returned row view is valid only until
-// the next Row/ColInto call or mutation. All mutations require exclusive
-// access.
+// readers. Row and ColInto may use store-internal scratch — they belong
+// to the single-writer update path, and a returned row view is valid
+// only until the next Row/ColInto call or mutation. All mutations
+// require exclusive access.
+//
+// # The Seal/Writable copy-on-write contract
+//
+// Seal returns an immutable point-in-time view of the store: the MVCC
+// read path publishes one per epoch, and any number of readers may query
+// it concurrently while the single writer keeps mutating the original.
+// Sealing is cheap — it shares the backing payload — and the writer
+// copies only what it is about to change:
+//
+//   - dense double-buffers: the first write after a Seal flips to the
+//     second n×n buffer, re-syncing just the rows that went stale since
+//     that buffer last held the front (the dirty sets reported through
+//     MarkRowsDirty), so a warm writer re-uses two fixed buffers and
+//     stays allocation-free;
+//   - packed copy-on-writes its triangle in row-aligned chunks: sealed
+//     views share every chunk, and the writer duplicates a chunk the
+//     first time it lands a write in it after a Seal;
+//   - approx is already immutable and seals for free (Seal returns the
+//     receiver).
+//
+// Writers that mutate a sealable store outside the incremental core must
+// report every row of S they wrote via MarkRowsDirty before the next
+// Seal — the dense double-buffer syncs exactly those rows on its next
+// flip. The engine threads core.Stats.DirtyRows through after each
+// update; wholesale rewrites (recompute) use the backend's own
+// mark-everything hook. A store that has never been sealed pays nothing
+// for any of this: MarkRowsDirty is a no-op and the write paths skip the
+// copy-on-write checks' slow half entirely.
 type Store interface {
 	// N returns the node count.
 	N() int
@@ -108,10 +135,30 @@ type Store interface {
 	// new rows zero except s(v, v) = diag. Panics on the approx backend.
 	AddNodes(count int, diag float64) Store
 	// MemBytes reports the store's resident size in bytes — the
-	// /stats "store_bytes" figure.
+	// /stats "store_bytes" figure. The serving payload only: the dense
+	// backend's transient MVCC double-buffer is not counted (it is the
+	// writer's cost, not the view's).
 	MemBytes() int64
 	// Backend names the implementation.
 	Backend() Backend
+	// Seal returns an immutable point-in-time view of the store, safe
+	// for any number of concurrent readers; see the package contract
+	// above. Sealing an already-sealed view returns the receiver.
+	//
+	// Dense caveat: the double-buffer recycles the buffer of the
+	// second-newest view, so before the first write after a Seal the
+	// caller must either know that every older view has no readers left
+	// or call (*Dense).AbandonBack to orphan the buffer to the GC.
+	// Packed and approx views are intrinsically safe at any age.
+	Seal() Store
+	// Writable reports whether the receiver accepts mutation: false for
+	// sealed views and for the read-only approx backend.
+	Writable() bool
+	// MarkRowsDirty reports rows of S written since the last Seal (or
+	// the last MarkRowsDirty call) — the dense double-buffer's re-sync
+	// set. No-op on backends that track sharing themselves (packed) or
+	// never mutate (approx), and on stores never sealed.
+	MarkRowsDirty(rows []int)
 }
 
 // Sampler is the optional query surface of sampling backends: top-k by

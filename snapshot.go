@@ -51,6 +51,15 @@ const (
 // WriteSnapshot serializes the engine's graph, options and similarity
 // store to w, in the version its backend calls for.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
+	return writeSnapshotData(w, e.opts, e.g.N(), e.g.Edges(), e.s)
+}
+
+// writeSnapshotData is the backend-agnostic serializer behind both
+// Engine.WriteSnapshot (live writer state) and the MVCC facade's
+// view-based snapshot (sealed state at one epoch): it needs only the
+// read surface, so a sealed store and graph snapshot serialize exactly
+// like live ones.
+func writeSnapshotData(w io.Writer, opts Options, n int, edges []graph.Edge, store simstore.Store) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 
@@ -58,31 +67,30 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		return fmt.Errorf("simrank: snapshot write: %w", err)
 	}
 	var flags uint32
-	if e.opts.DisablePruning {
+	if opts.DisablePruning {
 		flags |= flagNoPruning
 	}
-	n, m := e.g.N(), e.g.M()
 	hdr := []any{
 		uint32(snapshotVersion),
-		math.Float64bits(e.opts.C),
-		uint32(e.opts.K),
+		math.Float64bits(opts.C),
+		uint32(opts.K),
 		flags,
 	}
-	if e.opts.Backend != BackendDense {
+	if opts.Backend != BackendDense {
 		hdr[0] = uint32(snapshotVersion2)
 		code := uint32(backendCodePacked)
-		if e.opts.Backend == BackendApprox {
+		if opts.Backend == BackendApprox {
 			code = backendCodeApprox
 		}
 		hdr = append(hdr, code)
 	}
-	hdr = append(hdr, uint32(n), uint32(m))
+	hdr = append(hdr, uint32(n), uint32(len(edges)))
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("simrank: snapshot header: %w", err)
 		}
 	}
-	for _, edge := range e.g.Edges() {
+	for _, edge := range edges {
 		if err := binary.Write(bw, binary.LittleEndian, uint32(edge.From)); err != nil {
 			return err
 		}
@@ -90,7 +98,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 	}
-	if err := e.writeStorePayload(bw); err != nil {
+	if err := writeStorePayload(bw, store); err != nil {
 		return err
 	}
 	// Flush the payload so the CRC covers exactly the payload bytes, then
@@ -102,7 +110,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 }
 
 // writeStorePayload emits the backend-specific tail of the snapshot.
-func (e *Engine) writeStorePayload(bw *bufio.Writer) error {
+func writeStorePayload(bw *bufio.Writer, store simstore.Store) error {
 	writeFloats := func(vals []float64) error {
 		var buf [8]byte
 		for _, v := range vals {
@@ -113,11 +121,11 @@ func (e *Engine) writeStorePayload(bw *bufio.Writer) error {
 		}
 		return nil
 	}
-	switch s := e.s.(type) {
+	switch s := store.(type) {
 	case *simstore.Dense:
 		return writeFloats(s.Matrix().Data)
 	case *simstore.Packed:
-		// The packed backing slice is exactly the upper triangle in the
+		// The packed row segments are exactly the upper triangle in the
 		// payload's row-major order.
 		n := s.N()
 		for i := 0; i < n; i++ {
@@ -132,7 +140,7 @@ func (e *Engine) writeStorePayload(bw *bufio.Writer) error {
 		}
 		return binary.Write(bw, binary.LittleEndian, uint64(s.Seed()))
 	}
-	return fmt.Errorf("simrank: snapshot: unknown store type %T", e.s)
+	return fmt.Errorf("simrank: snapshot: unknown store type %T", store)
 }
 
 // ReadSnapshot restores an engine previously written by WriteSnapshot.

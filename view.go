@@ -1,0 +1,141 @@
+package simrank
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/simstore"
+)
+
+// engineView is one immutable, epoch-stamped read view of an engine —
+// the unit the MVCC facade publishes through a single atomic pointer.
+// Everything a query can touch is frozen at publish time: a sealed
+// similarity store, a sealed graph snapshot, the (n, m) pair, the
+// effective options and the epoch the shared query cache stamps entries
+// with. Readers therefore compose any number of calls against one view
+// and observe one consistent point in time, with no lock anywhere on
+// the path (the query cache's internal O(1) micro-mutex is the single
+// deliberate exception, and only when caching is enabled).
+//
+// readers counts calls currently inside this view. It exists for the
+// writer — the dense double-buffer may only recycle a buffer whose
+// views have drained — and doubles as the /stats in-flight gauge.
+type engineView struct {
+	epoch      uint64
+	s          simstore.Store
+	g          *graph.Snapshot
+	n, m       int
+	opts       Options
+	cache      *cache.TopK
+	storeBytes int64
+	published  time.Time
+
+	// dirtyRows is the detached snapshot of the publishing update's
+	// core.Stats.DirtyRows (nil for non-update publishes): taken once
+	// here, it gives ConcurrentEngine.Apply a caller-owned slice without
+	// a second copy dance.
+	dirtyRows []int
+
+	readers atomic.Int64
+}
+
+// sealView freezes the engine's current state into a publishable view.
+// Writer-side only; cost is O(n) pointer copies for the graph seal plus
+// O(|dirty|) for the stats snapshot — no similarity payload is copied.
+// withDirty is set only by Apply's publish, where lastStats is the
+// publishing update's own (other publishes must not stamp stale
+// workspace scratch on the view).
+func (e *Engine) sealView(withDirty bool) *engineView {
+	var dirty []int
+	if withDirty {
+		dirty = append([]int(nil), e.lastStats.DirtyRows...)
+	}
+	return &engineView{
+		epoch:      e.epoch,
+		s:          e.s.Seal(),
+		g:          e.g.Seal(),
+		n:          e.g.N(),
+		m:          e.g.M(),
+		opts:       e.opts,
+		cache:      e.cache,
+		storeBytes: e.s.MemBytes(),
+		published:  time.Now(),
+		dirtyRows:  dirty,
+	}
+}
+
+// abandonWriteBuffers tells the store to orphan any buffer a straggling
+// reader still pins instead of recycling it — the facade's non-blocking
+// alternative to waiting for an old view to drain. Only the dense
+// double-buffer recycles memory in place; packed chunks and the approx
+// index are never rewritten, so there is nothing to abandon there.
+func (e *Engine) abandonWriteBuffers() {
+	if d, ok := e.s.(*simstore.Dense); ok {
+		d.AbandonBack()
+	}
+}
+
+// viewPinsRecycleTarget reports whether v's sealed store shares the
+// exact buffer the writer store's next flip would recycle. False for
+// packed/approx (nothing is rewritten in place) and for views of a
+// previous store generation (AddNodes) or already-orphaned buffers — a
+// straggler there is harmless and must not force another abandon.
+func (e *Engine) viewPinsRecycleTarget(v *engineView) bool {
+	d, ok := e.s.(*simstore.Dense)
+	if !ok {
+		return false
+	}
+	sd, ok := v.s.(*simstore.Dense)
+	if !ok {
+		return false
+	}
+	return d.RecyclesBufferOf(sd)
+}
+
+// valid reports whether v names a node of this view's graph.
+func (v *engineView) valid(x int) bool { return x >= 0 && x < v.n }
+
+func (v *engineView) similarity(a, b int) float64 {
+	if !v.valid(a) || !v.valid(b) {
+		return 0
+	}
+	return v.s.At(a, b)
+}
+
+func (v *engineView) similarityStderr(a, b int) (score, stderr float64) {
+	if !v.valid(a) || !v.valid(b) {
+		return 0, 0
+	}
+	if smp, ok := v.s.(simstore.Sampler); ok {
+		return smp.PairStderr(a, b)
+	}
+	return v.s.At(a, b), 0
+}
+
+func (v *engineView) topK(k int) []Pair {
+	return storeTopK(v.s, v.cache, v.epoch, k)
+}
+
+func (v *engineView) topKFor(a, k int) []Pair {
+	if !v.valid(a) || k <= 0 {
+		return nil
+	}
+	return storeTopKFor(v.s, v.cache, v.epoch, a, k)
+}
+
+func (v *engineView) hasEdge(i, j int) bool { return v.g.HasEdge(i, j) }
+
+// similarities materializes the sealed matrix — the O(n²) copy runs
+// entirely against frozen state, so the writer never waits on it.
+func (v *engineView) similarities() *matrix.Dense { return v.s.ToDense() }
+
+// writeSnapshot serializes the sealed graph and store: a point-in-time
+// snapshot at this view's epoch, taken while the writer keeps
+// committing.
+func (v *engineView) writeSnapshot(w io.Writer) error {
+	return writeSnapshotData(w, v.opts, v.n, v.g.Edges(), v.s)
+}
