@@ -30,6 +30,16 @@
 // shutdown (SIGINT/SIGTERM) drains the write pipeline and writes a final
 // snapshot, so `simrankd -restore state.simr` resumes exactly where the
 // previous process stopped.
+//
+// With -wal-dir set, every committed mutation is appended to a
+// segmented write-ahead log BEFORE the view exposing it publishes, so
+// even a kill -9 loses nothing acknowledged: boot becomes
+// restore-newest-snapshot (-restore) + replay-the-log-tail, and a
+// successful snapshot truncates the segments it covers. -wal-sync picks
+// the fsync policy (always, interval, none; see README "Durability &
+// crash recovery"), -wal-segment-bytes the rotation size. A SIGTERM
+// during restore or replay aborts the boot cleanly — nonzero exit, no
+// snapshot of half-replayed state.
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	simrank "repro"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -76,8 +87,33 @@ func run() error {
 		window   = flag.Duration("batch-window", 0, "hold each drain cycle open this long to deepen write coalescing (0 = commit immediately)")
 		maxNodes = flag.Int("max-nodes", 1<<14, "largest graph POST /nodes may grow to (the dense matrix costs 8n² bytes)")
 		timeout  = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown deadline")
+
+		walDir      = flag.String("wal-dir", "", "write-ahead-log directory (enables durable logging + crash recovery)")
+		walSync     = flag.String("wal-sync", "always", "wal fsync policy: always (every append), interval (background timer + ?wait=1 group commit) or none")
+		walSyncInt  = flag.Duration("wal-sync-interval", 50*time.Millisecond, "background fsync period under -wal-sync=interval")
+		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20, "wal segment rotation size in bytes")
 	)
 	flag.Parse()
+
+	syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		return err
+	}
+	if *walDir == "" {
+		// A tuning flag without the enabling flag is a misconfiguration
+		// trap (the operator believes they have a durability guarantee
+		// they don't); refuse instead of silently ignoring.
+		var orphaned []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "wal-sync", "wal-sync-interval", "wal-segment-bytes":
+				orphaned = append(orphaned, "-"+f.Name)
+			}
+		})
+		if len(orphaned) > 0 {
+			return fmt.Errorf("%s have no effect without -wal-dir", strings.Join(orphaned, ", "))
+		}
+	}
 
 	if *restore != "" {
 		// C, K and pruning are baked into the restored similarity state;
@@ -99,6 +135,33 @@ func run() error {
 		return err
 	}
 
+	// Open (and recover) the log before anything else: a corrupt mid-log
+	// record must fail the boot loudly, before the listener raises any
+	// expectation of service. A torn tail — the signature of a crash
+	// mid-append — is truncated away silently-but-reported here.
+	var w *wal.WAL
+	if *walDir != "" {
+		w, err = wal.Open(*walDir, wal.Options{
+			SegmentBytes: *walSegBytes,
+			Sync:         syncPolicy,
+			SyncInterval: *walSyncInt,
+		})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		if torn := w.Stats().TornBytes; torn > 0 {
+			fmt.Printf("simrankd: wal recovery truncated a torn tail of %d bytes (previous process died mid-append)\n", torn)
+		}
+	}
+
+	// Signals are armed BEFORE the boot begins, not after it finishes: a
+	// SIGTERM that lands during a long -restore or WAL replay must abort
+	// the boot cleanly (nonzero exit, no snapshot of half-replayed
+	// state), not be dropped on the floor until the kernel escalates.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	// Bind the listener before booting the engine: a -restore replay or
 	// a large initial batch computation can take a while, and during it
 	// the process must answer /healthz (alive) while /readyz holds
@@ -110,6 +173,7 @@ func run() error {
 		MaxBatch:     *maxBatch,
 		BatchWindow:  *window,
 		MaxNodes:     *maxNodes,
+		WAL:          w,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
@@ -126,6 +190,27 @@ func run() error {
 		httpSrv.Close()
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		// Signaled while the base state was loading: nothing replayed,
+		// nothing attached, nothing to persist.
+		httpSrv.Close()
+		return fmt.Errorf("boot aborted: %w", err)
+	}
+	if w != nil {
+		// Replay the log tail above the base state's epoch — everything
+		// acknowledged after the restored snapshot was serialized (the
+		// whole log when booting from -graph or -n). Only after the replay
+		// lands does the engine start logging its own commits.
+		applied, err := eng.ReplayWAL(ctx, w)
+		if err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		if applied > 0 {
+			fmt.Printf("simrankd: wal replayed %d records (now at epoch %d)\n", applied, eng.Epoch())
+		}
+		eng.SetWAL(w)
+	}
 	if *restore != "" && *workers != 0 {
 		eng.SetWorkers(*workers)
 	}
@@ -136,22 +221,22 @@ func run() error {
 	fmt.Printf("simrankd: engine ready (%d nodes, %d edges, %s store, %d store bytes, epoch %d)\n",
 		eng.N(), eng.M(), eng.Backend(), eng.StoreMemBytes(), eng.Epoch())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err
-	case s := <-sig:
-		fmt.Printf("simrankd: %v — draining\n", s)
+	case <-ctx.Done():
+		fmt.Println("simrankd: signal received — draining")
 	}
 
 	// Stop accepting HTTP first, then drain the pipeline and persist, so
 	// every write we answered 202 for makes it into the final snapshot.
 	// The drain-and-snapshot must happen even if Shutdown times out on a
-	// stuck connection — accepted writes are never dropped.
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	// stuck connection — accepted writes are never dropped. (The WAL
+	// closes last, via the deferred Close above, after the final
+	// snapshot has truncated what it covers.)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	shutdownErr := httpSrv.Shutdown(ctx)
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
 	if err := srv.Close(); err != nil {
 		return errors.Join(shutdownErr, fmt.Errorf("drain/snapshot: %w", err))
 	}

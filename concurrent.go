@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/wal"
 )
 
 // ConcurrentEngine serves an Engine to many goroutines with epoch-based
@@ -51,6 +52,10 @@ type ConcurrentEngine struct {
 	old []*engineView
 	// views counts publishes (the /stats views_published gauge).
 	views atomic.Int64
+	// wal, when non-nil (SetWAL), receives every committed mutation as
+	// an epoch-tagged record before its view publishes. Writer-owned:
+	// only touched under writerMu.
+	wal *wal.WAL
 }
 
 // NewConcurrentEngine builds a concurrency-safe engine; see NewEngine.
@@ -281,9 +286,10 @@ func (c *ConcurrentEngine) Apply(up Update) (UpdateStats, error) {
 		// there is no new state to publish.
 		return UpdateStats{}, err
 	}
+	werr := c.logRecord(wal.KindUpdate, []Update{up}, 0)
 	v := c.publish(true)
 	st.DirtyRows = v.dirtyRows
-	return st, nil
+	return st, werr
 }
 
 // ApplyBatch folds a batch of updates under one writer-mutex
@@ -296,9 +302,16 @@ func (c *ConcurrentEngine) ApplyBatch(ups []Update) error {
 	before := c.eng.Epoch()
 	err := c.eng.ApplyBatch(ups)
 	if c.eng.Epoch() != before {
+		// One WAL record for the whole batch — replay re-enters ApplyBatch
+		// with the same slice, so batch boundaries (and the
+		// recompute-threshold crossover they decide) reproduce exactly.
+		werr := c.logRecord(wal.KindBatch, ups, 0)
 		// Publish whatever committed — on the validated path that is all
 		// of it or none of it.
 		c.publish(false)
+		if err == nil {
+			err = werr
+		}
 	}
 	return err
 }
@@ -314,16 +327,21 @@ func (c *ConcurrentEngine) Similarities() *matrix.Dense {
 }
 
 // Recompute rebuilds the similarities from scratch under the writer
-// mutex and publishes the result as one new view.
-func (c *ConcurrentEngine) Recompute() {
+// mutex and publishes the result as one new view. The returned error is
+// a durability failure only (ErrDurability with a WAL installed): the
+// rebuild itself cannot fail and its result is published regardless.
+func (c *ConcurrentEngine) Recompute() error {
 	c.writerMu.Lock()
 	defer c.writerMu.Unlock()
 	c.prepareWrite()
 	before := c.eng.Epoch()
 	c.eng.Recompute()
-	if c.eng.Epoch() != before { // no-op on the read-only backend
-		c.publish(false)
+	if c.eng.Epoch() == before { // no-op on the read-only backend
+		return nil
 	}
+	werr := c.logRecord(wal.KindRecompute, nil, 0)
+	c.publish(false)
+	return werr
 }
 
 // AddNodes appends count isolated nodes under the writer mutex,
@@ -336,8 +354,9 @@ func (c *ConcurrentEngine) AddNodes(count int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	werr := c.logRecord(wal.KindAddNodes, nil, count)
 	c.publish(false)
-	return first, nil
+	return first, werr
 }
 
 // Options returns the effective options of the current view.

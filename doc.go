@@ -71,6 +71,20 @@
 // inflight_readers. See the README's "Serving" section for the endpoint
 // table and semantics.
 //
+// # Durability
+//
+// Snapshots cover graceful shutdowns; the write-ahead log (internal/wal,
+// simrankd's -wal-dir flag) covers crashes. Every committed mutation is
+// appended — epoch-tagged, CRC-framed — before its view publishes, so
+// boot equals restore-newest-snapshot plus ReplayWAL of the log tail,
+// and a kill -9 loses nothing acknowledged (under -wal-sync=always; see
+// the README's "Durability & crash recovery" section for the fsync
+// policies, group commit, and the recovery semantics: torn tails are
+// truncated, mid-log corruption fails the boot loudly). Successful
+// snapshots truncate the covered segments. If an append fails the
+// mutation stays committed and visible and the writer receives
+// ErrDurability.
+//
 // # Similarity-store backends
 //
 // The n×n similarity matrix is the system's memory wall, so the engine

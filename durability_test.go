@@ -1,0 +1,360 @@
+package simrank
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/wal"
+)
+
+// driveWALStream runs a fixed mutation schedule — unit applies, a
+// coalesced batch, node growth, a recompute, then more unit applies —
+// against ce, so the log exercises every record kind. Returns the
+// number of committed mutations (= WAL records).
+func driveWALStream(t *testing.T, ce *ConcurrentEngine) int {
+	t.Helper()
+	records := 0
+	step := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		records++
+	}
+	_, err := ce.Insert(0, 2)
+	step(err)
+	_, err = ce.Insert(2, 3)
+	step(err)
+	step(ce.ApplyBatch([]Update{
+		{Edge: Edge{From: 3, To: 4}, Insert: true},
+		{Edge: Edge{From: 4, To: 0}, Insert: true},
+		{Edge: Edge{From: 0, To: 2}, Insert: false},
+	}))
+	first, err := ce.AddNodes(2)
+	step(err)
+	_, err = ce.Insert(first, 1)
+	step(err)
+	step(ce.Recompute())
+	_, err = ce.Delete(2, 3)
+	step(err)
+	return records
+}
+
+// assertEnginesIdentical requires two engines serving the same backend
+// to agree bit-for-bit: size, edges, epoch, every similarity.
+func assertEnginesIdentical(t *testing.T, want, got *ConcurrentEngine) {
+	t.Helper()
+	wn, wm := want.Size()
+	gn, gm := got.Size()
+	if wn != gn || wm != gm {
+		t.Fatalf("size (%d, %d), want (%d, %d)", gn, gm, wn, wm)
+	}
+	if want.Epoch() != got.Epoch() {
+		t.Fatalf("epoch %d, want %d", got.Epoch(), want.Epoch())
+	}
+	for i := 0; i < wn; i++ {
+		for j := 0; j < wn; j++ {
+			if want.HasEdge(i, j) != got.HasEdge(i, j) {
+				t.Fatalf("edge (%d,%d) presence differs", i, j)
+			}
+		}
+	}
+	ws, gs := want.Similarities(), got.Similarities()
+	if ws == nil || gs == nil {
+		t.Fatal("nil similarity matrix on a materializable backend")
+	}
+	if d := matrix.MaxAbsDiff(ws, gs); d != 0 {
+		t.Fatalf("similarities drifted %g from the live engine; replay must be bit-identical", d)
+	}
+}
+
+// TestWALRoundTripColdStart is the core durability property at the
+// engine level: every committed mutation — unit, batch, node growth,
+// recompute — lands in the log before its view publishes, and replaying
+// the log onto a fresh engine built from the same initial graph
+// reproduces the live engine bit-for-bit, epochs included.
+func TestWALRoundTripColdStart(t *testing.T) {
+	edges := []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}}
+	for _, backend := range []Backend{BackendDense, BackendPacked} {
+		t.Run(string(backend), func(t *testing.T) {
+			opts := Options{K: 8, Workers: 1, Backend: backend}
+			dir := t.TempDir()
+			w, err := wal.Open(dir, wal.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ce, err := NewConcurrentEngine(5, edges, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ce.SetWAL(w)
+			records := driveWALStream(t, ce)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := int(w.Stats().Appends); got != records {
+				t.Fatalf("logged %d records for %d commits", got, records)
+			}
+
+			// "Crash": the only survivor is the log. Boot from the initial
+			// conditions and replay.
+			w2, err := wal.Open(dir, wal.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			fresh, err := NewEngine(5, edges, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2 := WrapEngine(fresh)
+			applied, err := c2.ReplayWAL(context.Background(), w2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if applied != records {
+				t.Fatalf("replayed %d records, want %d", applied, records)
+			}
+			assertEnginesIdentical(t, ce, c2)
+		})
+	}
+}
+
+// TestWALReplayFromSnapshot is the real boot path: restore the newest
+// snapshot (carrying its epoch in the v3 header), then replay only the
+// log tail past it.
+func TestWALReplayFromSnapshot(t *testing.T) {
+	edges := []Edge{{From: 0, To: 1}, {From: 1, To: 2}}
+	opts := Options{K: 8, Workers: 1}
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := NewConcurrentEngine(5, edges, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce.SetWAL(w)
+
+	// Part one of the stream, then a mid-stream snapshot.
+	if _, err := ce.Insert(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Insert(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := ce.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snapEpoch := ce.Epoch()
+
+	// Part two: everything the restore must recover from the log alone.
+	if err := ce.ApplyBatch([]Update{
+		{Edge: Edge{From: 4, To: 0}, Insert: true},
+		{Edge: Edge{From: 0, To: 1}, Insert: false},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Insert(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := ReadSnapshot(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Epoch() != snapEpoch {
+		t.Fatalf("restored epoch %d, want %d", restored.Epoch(), snapEpoch)
+	}
+	w2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	c2 := WrapEngine(restored)
+	applied, err := c2.ReplayWAL(context.Background(), w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 { // exactly the post-snapshot records
+		t.Fatalf("replayed %d records, want 2", applied)
+	}
+	assertEnginesIdentical(t, ce, c2)
+}
+
+// TestWALReplaySnapshotNewerThanLog: restoring a snapshot taken at (or
+// after) the log tail replays nothing — a clean no-op, not an error.
+func TestWALReplaySnapshotNewerThanLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := NewConcurrentEngine(4, []Edge{{From: 0, To: 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce.SetWAL(w)
+	if _, err := ce.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := ce.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := ReadSnapshot(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	c2 := WrapEngine(restored)
+	applied, err := c2.ReplayWAL(context.Background(), w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 {
+		t.Fatalf("replayed %d records onto a newer snapshot, want 0", applied)
+	}
+	assertEnginesIdentical(t, ce, c2)
+}
+
+// TestWALReplayAbortsOnContext: a canceled context (the SIGTERM path)
+// stops replay between records with the context's error, leaving the
+// half-replayed engine for the caller to discard.
+func TestWALReplayAbortsOnContext(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := NewConcurrentEngine(4, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce.SetWAL(w)
+	if _, err := ce.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ce.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	fresh, err := NewEngine(4, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := WrapEngine(fresh)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	applied, err := c2.ReplayWAL(ctx, w2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if applied != 0 {
+		t.Fatalf("applied %d records under a canceled context", applied)
+	}
+	if c2.Epoch() != 0 {
+		t.Fatalf("aborted replay advanced the epoch to %d", c2.Epoch())
+	}
+}
+
+// TestWALReplayDivergentBaseFailsLoudly: a log that disagrees with the
+// state it claims to extend — here, an insert of an edge the base
+// already has — must abort replay, not silently skip ahead.
+func TestWALReplayDivergentBaseFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := NewConcurrentEngine(4, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce.SetWAL(w)
+	if _, err := ce.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	// The wrong base: it already holds the edge the log inserts.
+	wrong, err := NewEngine(4, []Edge{{From: 0, To: 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := WrapEngine(wrong)
+	if _, err := c2.ReplayWAL(context.Background(), w2); err == nil {
+		t.Fatal("replay onto a divergent base succeeded silently")
+	}
+}
+
+// TestWALAppendFailureKeepsCommit pins the ErrDurability contract: when
+// the log cannot take the record, the mutation stays committed and
+// published (readers and ?wait=1 waiters already may have seen it) and
+// the error tells the caller durability — not the mutation — failed.
+func TestWALAppendFailureKeepsCommit(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := NewConcurrentEngine(4, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce.SetWAL(w)
+	if err := w.Close(); err != nil { // every Append from here fails
+		t.Fatal(err)
+	}
+
+	before := ce.Epoch()
+	_, err = ce.Insert(0, 1)
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("error = %v, want ErrDurability", err)
+	}
+	if !ce.HasEdge(0, 1) {
+		t.Fatal("durability failure rolled back a committed insert")
+	}
+	if ce.Epoch() <= before {
+		t.Fatal("durability failure suppressed the view publish")
+	}
+
+	err = ce.ApplyBatch([]Update{{Edge: Edge{From: 1, To: 2}, Insert: true}})
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("batch error = %v, want ErrDurability", err)
+	}
+	if !ce.HasEdge(1, 2) {
+		t.Fatal("durability failure rolled back a committed batch")
+	}
+}

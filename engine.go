@@ -217,9 +217,13 @@ func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 }
 
 // Epoch returns the engine's monotone mutation counter: 0 at
-// construction (and after snapshot restore), +1 per committed Apply,
-// Recompute, AddNodes, SetWorkers or SetTopKCacheRows. The MVCC facade
-// stamps each published read view with it.
+// construction, +1 per committed Apply, Recompute, AddNodes,
+// SetWorkers or SetTopKCacheRows. The MVCC facade stamps each
+// published read view with it, the write-ahead log tags each record
+// with it, and version-3 snapshots persist it — a restored engine
+// resumes at the serialized epoch (0 for pre-WAL v1/v2 files), so WAL
+// replay knows where to start and post-restore appends keep advancing
+// the same chain.
 func (e *Engine) Epoch() uint64 { return e.epoch }
 
 // readOnly reports whether the engine's backend rejects mutation.

@@ -260,7 +260,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down; final snapshot already written"))
 		return
 	}
-	if err := simrank.WriteSnapshotFile(s.eng, s.cfg.SnapshotPath); err != nil {
+	if err := s.writeSnapshotAndTruncate(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

@@ -13,6 +13,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,11 @@ type pipelineStats struct {
 	failedBatches atomic.Int64
 	maxBatch      atomic.Int64
 	depth         atomic.Int64
+	// walFailures counts commits whose durability step failed — the
+	// mutation is applied and visible, but its WAL record (or the group
+	// -commit fsync a ?wait=1 waiter demanded) is not on disk. Nonzero
+	// here means acknowledged-in-memory state could be lost in a crash.
+	walFailures atomic.Int64
 }
 
 // pipeline is the coalescing write path. submit enqueues a request onto
@@ -52,7 +58,14 @@ type pipelineStats struct {
 // view is published per cycle no matter how many requests coalesced
 // into it.
 type pipeline struct {
-	apply    func([]simrank.Update) error
+	apply func([]simrank.Update) error
+	// sync, when non-nil, is the group-commit hook: called once per
+	// committed cycle that carries at least one synchronous waiter,
+	// before any waiter is notified, so a ?wait=1 acknowledgement
+	// implies the cycle's WAL record is on stable storage. The server
+	// wires it to WAL.Sync under the interval fsync policy only —
+	// always-fsync makes it redundant, none makes it unwanted.
+	sync     func() error
 	reqs     chan writeReq
 	maxBatch int
 	// window > 0 keeps a drain cycle open that long after its first
@@ -68,7 +81,7 @@ type pipeline struct {
 	stats pipelineStats
 }
 
-func newPipeline(apply func([]simrank.Update) error, queueSize, maxBatch int, window time.Duration) *pipeline {
+func newPipeline(apply func([]simrank.Update) error, sync func() error, queueSize, maxBatch int, window time.Duration) *pipeline {
 	if queueSize <= 0 {
 		queueSize = 1024
 	}
@@ -77,6 +90,7 @@ func newPipeline(apply func([]simrank.Update) error, queueSize, maxBatch int, wi
 	}
 	p := &pipeline{
 		apply:    apply,
+		sync:     sync,
 		reqs:     make(chan writeReq, queueSize),
 		maxBatch: maxBatch,
 		window:   window,
@@ -177,6 +191,13 @@ func (p *pipeline) drain() {
 // own — one client's inapplicable update must not poison the writes that
 // merely shared a drain cycle with it — and every waiter learns its own
 // request's fate.
+//
+// A durability failure (simrank.ErrDurability) is the one error that
+// must NOT take the fallback path: the batch is committed and visible,
+// only its log record is missing, and re-applying an already-applied
+// batch would reject every update in it ("edge already present") —
+// misreporting a durability incident as a client error. Instead the
+// cycle is acknowledged with the durability error itself.
 func (p *pipeline) commit(cycle []writeReq, total int) {
 	defer p.stats.depth.Add(int64(-total))
 	var ups []simrank.Update
@@ -189,11 +210,8 @@ func (p *pipeline) commit(cycle []writeReq, total int) {
 		}
 	}
 	err := p.apply(ups)
-	if err == nil {
-		p.noteBatch(len(ups))
-		for _, r := range cycle {
-			notify(r.done, nil)
-		}
+	if err == nil || errors.Is(err, simrank.ErrDurability) {
+		p.acknowledge(cycle, len(ups), err)
 		return
 	}
 	if len(cycle) == 1 {
@@ -206,13 +224,38 @@ func (p *pipeline) commit(cycle []writeReq, total int) {
 	// bad update rejected once reads as one failure, not two.
 	for _, r := range cycle {
 		e := p.apply(r.ups)
-		if e == nil {
-			p.noteBatch(len(r.ups))
+		if e == nil || errors.Is(e, simrank.ErrDurability) {
+			p.acknowledge([]writeReq{r}, len(r.ups), e)
 		} else {
 			p.stats.failedBatches.Add(1)
 			p.stats.rejected.Add(int64(len(r.ups)))
+			notify(r.done, e)
 		}
-		notify(r.done, e)
+	}
+}
+
+// acknowledge finishes one COMMITTED cycle: counts it applied, runs the
+// group-commit sync if a synchronous waiter demands durability, and
+// notifies every waiter — with nil on the fully-durable path, or with a
+// durability error when the record or its fsync failed (the updates are
+// visible either way; the error is about the disk, not the mutation).
+func (p *pipeline) acknowledge(cycle []writeReq, n int, err error) {
+	p.noteBatch(n)
+	if err == nil && p.sync != nil {
+		for _, r := range cycle {
+			if r.done != nil {
+				if serr := p.sync(); serr != nil {
+					err = fmt.Errorf("%w: %v", simrank.ErrDurability, serr)
+				}
+				break
+			}
+		}
+	}
+	if err != nil {
+		p.stats.walFailures.Add(1)
+	}
+	for _, r := range cycle {
+		notify(r.done, err)
 	}
 }
 

@@ -66,7 +66,7 @@ func mustSubmit(t *testing.T, p *pipeline, ups []simrank.Update, wait bool) <-ch
 // apply call (one write-lock acquisition for the whole burst).
 func TestPipelineCoalesces(t *testing.T) {
 	g := newGatedApplier()
-	p := newPipeline(g.apply, 16, 0, 0)
+	p := newPipeline(g.apply, nil, 16, 0, 0)
 	defer p.close()
 
 	mustSubmit(t, p, []simrank.Update{up(0, 1)}, false)
@@ -106,7 +106,7 @@ func TestPipelineCoalesces(t *testing.T) {
 // split into cycles of at most two.
 func TestPipelineMaxBatchCap(t *testing.T) {
 	g := newGatedApplier()
-	p := newPipeline(g.apply, 16, 2, 0)
+	p := newPipeline(g.apply, nil, 16, 2, 0)
 	defer p.close()
 
 	mustSubmit(t, p, []simrank.Update{up(0, 1)}, false)
@@ -149,7 +149,7 @@ func TestPipelineFailedBatchFallsBackPerRequest(t *testing.T) {
 		}
 		return nil
 	}
-	p := newPipeline(g.apply, 16, 0, 0)
+	p := newPipeline(g.apply, nil, 16, 0, 0)
 	defer p.close()
 
 	mustSubmit(t, p, []simrank.Update{up(0, 1)}, false)
@@ -197,7 +197,7 @@ func TestPipelineBatchWindow(t *testing.T) {
 		calls = append(calls, len(ups))
 		mu.Unlock()
 		return nil
-	}, 64, 0, 200*time.Millisecond)
+	}, nil, 64, 0, 200*time.Millisecond)
 	defer p.close()
 
 	// All ten submits land well inside the first cycle's window.
@@ -226,7 +226,7 @@ func TestPipelineCloseDrains(t *testing.T) {
 		mu.Unlock()
 		time.Sleep(time.Millisecond)
 		return nil
-	}, 64, 0, 0)
+	}, nil, 64, 0, 0)
 
 	for i := 0; i < 32; i++ {
 		if _, err := p.submit([]simrank.Update{up(i, i+1)}, false); err != nil {

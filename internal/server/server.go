@@ -9,6 +9,7 @@ import (
 	"time"
 
 	simrank "repro"
+	"repro/internal/wal"
 )
 
 // Config tunes a Server. The zero value is usable: no snapshot path
@@ -36,6 +37,14 @@ type Config struct {
 	// memory-safety limit: one request asking for a huge count must not
 	// OOM the process. Default 16384 (a 2 GiB matrix); size to your RAM.
 	MaxNodes int
+	// WAL, when non-nil, is the write-ahead log the caller installed on
+	// the engine (ConcurrentEngine.SetWAL) before Attach. The server
+	// uses the handle for three things: the /stats wal_* gauges, the
+	// ?wait=1 group-commit Sync under the interval fsync policy, and
+	// truncating sealed segments once a snapshot has durably captured
+	// their epochs. The server never closes it — the owner does, after
+	// Close has drained the last write.
+	WAL *wal.WAL
 }
 
 // defaultMaxNodes keeps the dense n×n similarity matrix at ≤ 2 GiB
@@ -125,7 +134,15 @@ func (s *Server) Attach(eng *simrank.ConcurrentEngine) {
 		panic("server: Attach called twice")
 	}
 	s.eng = eng
-	s.pipe = newPipeline(eng.ApplyBatch, s.cfg.QueueSize, s.cfg.MaxBatch, s.cfg.BatchWindow)
+	var sync func() error
+	if w := s.cfg.WAL; w != nil && w.Policy() == wal.SyncInterval {
+		// Group commit: ?wait=1 acknowledgements force the cycle's record
+		// to disk. Redundant under SyncAlways (every append fsyncs),
+		// deliberately absent under SyncNone (the operator opted out of
+		// durability).
+		sync = w.Sync
+	}
+	s.pipe = newPipeline(eng.ApplyBatch, sync, s.cfg.QueueSize, s.cfg.MaxBatch, s.cfg.BatchWindow)
 	s.ready.Store(true)
 }
 
@@ -171,11 +188,31 @@ func (s *Server) Close() error {
 		s.snapMu.Lock()
 		defer s.snapMu.Unlock()
 		if s.cfg.SnapshotPath != "" {
-			s.closeErr = simrank.WriteSnapshotFile(s.eng, s.cfg.SnapshotPath)
+			s.closeErr = s.writeSnapshotAndTruncate()
 		}
 		s.snapDone = true
 	})
 	return s.closeErr
+}
+
+// writeSnapshotAndTruncate persists the engine to the configured
+// snapshot path and, on success, drops WAL segments every record of
+// which the snapshot now covers. Caller holds snapMu.
+func (s *Server) writeSnapshotAndTruncate() error {
+	// The published epoch read BEFORE serialization is a safe truncation
+	// floor: WriteSnapshotFile pins its own view, which can only be this
+	// epoch or newer, and under-truncating merely keeps records the next
+	// boot's replay will skip as already-covered.
+	epoch := s.eng.Epoch()
+	if err := simrank.WriteSnapshotFile(s.eng, s.cfg.SnapshotPath); err != nil {
+		return err
+	}
+	if w := s.cfg.WAL; w != nil {
+		if err := w.Truncate(epoch); err != nil {
+			return fmt.Errorf("snapshot persisted, but truncating the wal below epoch %d failed: %w", epoch, err)
+		}
+	}
+	return nil
 }
 
 // Stats returns the current counters (also served as GET /stats). Only
@@ -187,7 +224,7 @@ func (s *Server) Stats() StatsResponse {
 	st := &s.pipe.stats
 	vi := s.eng.ViewInfo()
 	cs := vi.Cache
-	return StatsResponse{
+	resp := StatsResponse{
 		Nodes:           vi.N,
 		Edges:           vi.M,
 		Backend:         string(vi.Backend),
@@ -215,6 +252,16 @@ func (s *Server) Stats() StatsResponse {
 
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
+	if w := s.cfg.WAL; w != nil {
+		ws := w.Stats()
+		resp.WALEnabled = true
+		resp.WALEpoch = ws.LastEpoch
+		resp.WALSegments = ws.Segments
+		resp.WALBytes = ws.Bytes
+		resp.WALFsyncs = ws.Fsyncs
+		resp.WALFailures = st.walFailures.Load()
+	}
+	return resp
 }
 
 // checkNode validates a node id against the current graph size.

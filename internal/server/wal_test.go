@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	simrank "repro"
+	"repro/internal/wal"
+)
+
+// newWALServer builds a server whose engine logs to a fresh WAL in dir,
+// the way simrankd wires the two together: SetWAL before Attach, the
+// handle shared with the server config for stats/group-commit/truncate.
+func newWALServer(t *testing.T, n int, dir string, wopts wal.Options, cfg Config) (*Server, *simrank.ConcurrentEngine, *wal.WAL, *httptest.Server) {
+	t.Helper()
+	w, err := wal.Open(dir, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	edges := make([]simrank.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = simrank.Edge{From: i, To: (i + 1) % n}
+	}
+	eng, err := simrank.NewConcurrentEngine(n, edges, simrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetWAL(w)
+	cfg.WAL = w
+	srv := New(eng, cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, eng, w, ts
+}
+
+// TestServerWALStatsAndVisibility drives acknowledged writes through
+// the full HTTP path and asserts the /stats wal_* gauges move, plus the
+// ?wait=1 contract: once the 200 lands, the update is visible to the
+// next read AND its record is in the log. Run under -race this also
+// hammers the pipeline/WAL interplay for data races.
+func TestServerWALStatsAndVisibility(t *testing.T) {
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			_, eng, w, ts := newWALServer(t, 6, dir, wal.Options{Sync: policy}, Config{})
+
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						from, to := g, (g+i+2)%6
+						if from == to {
+							continue
+						}
+						body := fmt.Sprintf(`{"from":%d,"to":%d}`, from, to)
+						resp, err := http.Post(ts.URL+"/updates?wait=1", "application/json", strings.NewReader(body))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						resp.Body.Close()
+						switch resp.StatusCode {
+						case http.StatusOK:
+							// Acknowledged ⇒ visible to the very next read.
+							var sim struct {
+								Score float64 `json:"score"`
+							}
+							if code := getJSON(t, fmt.Sprintf("%s/similarity?a=%d&b=%d", ts.URL, from, to), &sim); code != http.StatusOK {
+								t.Errorf("similarity after acked write: %d", code)
+							}
+							if !eng.HasEdge(from, to) {
+								t.Errorf("acked insert %d->%d not visible", from, to)
+							}
+						case http.StatusConflict:
+							// Two goroutines raced the same edge; fine.
+						default:
+							t.Errorf("unexpected status %d", resp.StatusCode)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			// Acknowledged ⇒ durable: reopening the log must replay to the
+			// engine's exact state. (Close flushes; under SyncInterval the
+			// group commit already synced each acked cycle.)
+			var st StatsResponse
+			if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+				t.Fatalf("/stats: %d", code)
+			}
+			if !st.WALEnabled {
+				t.Fatal("wal_enabled false on a WAL-backed server")
+			}
+			if st.WALEpoch == 0 || st.WALSegments == 0 || st.WALBytes == 0 {
+				t.Fatalf("wal gauges did not move: %+v", st)
+			}
+			if policy != wal.SyncNone && st.WALFsyncs == 0 {
+				t.Fatal("no fsyncs recorded under a syncing policy")
+			}
+			if st.WALFailures != 0 {
+				t.Fatalf("wal_failures = %d on a healthy disk", st.WALFailures)
+			}
+			if st.WALEpoch != eng.Epoch() {
+				t.Fatalf("wal epoch %d behind view epoch %d", st.WALEpoch, eng.Epoch())
+			}
+			_ = w
+		})
+	}
+}
+
+// TestServerSnapshotTruncatesWAL: POST /snapshot captures the epoch
+// floor and removes every sealed segment the snapshot covers; the
+// replayable tail after a "crash" at that point is empty.
+func TestServerSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	snapDir := t.TempDir()
+	// Tiny segments so the stream seals several of them.
+	_, eng, w, ts := newWALServer(t, 8, dir, wal.Options{SegmentBytes: 64},
+		Config{SnapshotPath: filepath.Join(snapDir, "state.simr")})
+
+	posted := 0
+	for a := 0; a < 8 && posted < 20; a++ {
+		for b := 0; b < 8 && posted < 20; b++ {
+			if a == b || b == (a+1)%8 { // self-loop or already in the ring
+				continue
+			}
+			body := fmt.Sprintf(`{"from":%d,"to":%d}`, a, b)
+			resp, err := http.Post(ts.URL+"/updates?wait=1", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("insert %d->%d: %d", a, b, resp.StatusCode)
+			}
+			posted++
+		}
+	}
+	before := w.Stats()
+	if before.Segments < 3 {
+		t.Fatalf("stream sealed only %d segments; the truncation test needs several", before.Segments)
+	}
+
+	resp, err := http.Post(ts.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot: %d", resp.StatusCode)
+	}
+	after := w.Stats()
+	if after.Segments >= before.Segments {
+		t.Fatalf("snapshot left %d segments (was %d); sealed segments below the epoch floor must go", after.Segments, before.Segments)
+	}
+
+	// The snapshot covers the whole log: restore + replay is a no-op and
+	// lands exactly on the serving state.
+	restored, err := simrank.ReadSnapshotFile(filepath.Join(snapDir, "state.simr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := simrank.WrapEngine(restored)
+	applied, err := c2.ReplayWAL(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 {
+		t.Fatalf("replay applied %d records past a covering snapshot", applied)
+	}
+	if c2.Epoch() != eng.Epoch() {
+		t.Fatalf("restored epoch %d, serving epoch %d", c2.Epoch(), eng.Epoch())
+	}
+}
+
+// TestServerWALAppendFailureIsNotAClientError: when the log dies
+// mid-serving, an acked ?wait=1 write gets a 500 (durability failed),
+// NOT a 409 — the pipeline must not fall back to re-applying a batch
+// that already committed, which would misread the incident as "edge
+// already present". The update itself stays visible, and wal_failures
+// counts the incident.
+func TestServerWALAppendFailureIsNotAClientError(t *testing.T) {
+	dir := t.TempDir()
+	srv, eng, w, ts := newWALServer(t, 6, dir, wal.Options{}, Config{})
+
+	// Kill the log out from under the server: every Append now fails.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two distinct valid inserts in one request: with the old fallback
+	// they would be re-applied one by one and both answer 409.
+	body := `[{"from":0,"to":3},{"from":1,"to":4}]`
+	resp, err := http.Post(ts.URL+"/updates?wait=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d (%s), want 500: a durability failure is the server's fault", resp.StatusCode, buf.String())
+	}
+	if !eng.HasEdge(0, 3) || !eng.HasEdge(1, 4) {
+		t.Fatal("committed updates vanished after the durability failure")
+	}
+	st := srv.Stats()
+	if st.WALFailures == 0 {
+		t.Fatal("wal_failures did not count the lost record")
+	}
+	if st.UpdatesRejected != 0 {
+		t.Fatalf("durability failure miscounted as %d rejected updates", st.UpdatesRejected)
+	}
+}

@@ -172,6 +172,19 @@ type StatsResponse struct {
 	CacheEvictions       int64 `json:"cache_evictions"`
 	CachedRows           int   `json:"cached_rows"`
 
+	// Write-ahead-log gauges, populated only when the process runs with
+	// -wal-dir (WALEnabled says so; the others are zero otherwise).
+	// WALEpoch is the newest logged record's epoch — it tracks the view
+	// epoch minus any unlogged knob bumps; WALFailures counts commits
+	// whose record or group-commit fsync failed (nonzero means
+	// acknowledged state could be lost in a crash — page someone).
+	WALEnabled  bool   `json:"wal_enabled"`
+	WALEpoch    uint64 `json:"wal_epoch"`
+	WALSegments int    `json:"wal_segments"`
+	WALBytes    int64  `json:"wal_bytes"`
+	WALFsyncs   int64  `json:"wal_fsyncs"`
+	WALFailures int64  `json:"wal_failures"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 

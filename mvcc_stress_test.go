@@ -181,7 +181,7 @@ func TestMVCCStressSnapshotIsolation(t *testing.T) {
 					func(up Update) error { _, err := ce.Apply(up); return err },
 					ce.ApplyBatch,
 					func(k int) error { _, err := ce.AddNodes(k); return err },
-					ce.Recompute,
+					func() { _ = ce.Recompute() },
 				)
 			}
 			close(stop)

@@ -38,28 +38,45 @@ import (
 //	  row-major — the file is ~half a dense snapshot, like the store.
 //	backend 2 (approx): payload = walks u32 | seed u64; there is no
 //	  matrix — the store is rebuilt from the graph on restore.
+//
+// Version 3 — the current write format for every backend: the backend
+// id is always present (0 = dense now has a code) and the engine's
+// epoch at serialization time follows it, so a boot that restores the
+// snapshot knows exactly where in the write-ahead log to resume
+// replay (records with epoch ≤ the header's are already inside the
+// file; see internal/wal):
+//
+//	magic "SIMR" | version=3 u32 | C f64 | K u32 | flags u32 |
+//	backend u32 | epoch u64 | n u32 | m u32 | m × (from u32, to u32) |
+//	payload | crc32(IEEE)
+//
+// v1 and v2 files restore forever (with epoch 0 — they predate the
+// WAL, so there is never a log tail above them).
 const (
 	snapshotMagic    = "SIMR"
 	snapshotVersion  = 1
 	snapshotVersion2 = 2
+	snapshotVersion3 = 3
 	flagNoPruning    = 1 << 0
 
+	backendCodeDense  = 0
 	backendCodePacked = 1
 	backendCodeApprox = 2
 )
 
-// WriteSnapshot serializes the engine's graph, options and similarity
-// store to w, in the version its backend calls for.
+// WriteSnapshot serializes the engine's graph, options, epoch and
+// similarity store to w in the version-3 format.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
-	return writeSnapshotData(w, e.opts, e.g.N(), e.g.Edges(), e.s)
+	return writeSnapshotData(w, e.opts, e.epoch, e.g.N(), e.g.Edges(), e.s)
 }
 
 // writeSnapshotData is the backend-agnostic serializer behind both
 // Engine.WriteSnapshot (live writer state) and the MVCC facade's
 // view-based snapshot (sealed state at one epoch): it needs only the
 // read surface, so a sealed store and graph snapshot serialize exactly
-// like live ones.
-func writeSnapshotData(w io.Writer, opts Options, n int, edges []graph.Edge, store simstore.Store) error {
+// like live ones. The recorded epoch is the WAL-replay floor a restore
+// resumes from.
+func writeSnapshotData(w io.Writer, opts Options, epoch uint64, n int, edges []graph.Edge, store simstore.Store) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 
@@ -70,21 +87,23 @@ func writeSnapshotData(w io.Writer, opts Options, n int, edges []graph.Edge, sto
 	if opts.DisablePruning {
 		flags |= flagNoPruning
 	}
+	code := uint32(backendCodeDense)
+	switch opts.Backend {
+	case BackendPacked:
+		code = backendCodePacked
+	case BackendApprox:
+		code = backendCodeApprox
+	}
 	hdr := []any{
-		uint32(snapshotVersion),
+		uint32(snapshotVersion3),
 		math.Float64bits(opts.C),
 		uint32(opts.K),
 		flags,
+		code,
+		epoch,
+		uint32(n),
+		uint32(len(edges)),
 	}
-	if opts.Backend != BackendDense {
-		hdr[0] = uint32(snapshotVersion2)
-		code := uint32(backendCodePacked)
-		if opts.Backend == BackendApprox {
-			code = backendCodeApprox
-		}
-		hdr = append(hdr, code)
-	}
-	hdr = append(hdr, uint32(n), uint32(len(edges)))
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("simrank: snapshot header: %w", err)
@@ -177,29 +196,40 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 	}
 	var (
 		version, k, flags, n, m uint32
-		cBits                   uint64
+		cBits, epoch            uint64
 	)
 	for _, p := range []any{&version, &cBits, &k, &flags} {
 		if err := binary.Read(tee, binary.LittleEndian, p); err != nil {
 			return nil, fmt.Errorf("simrank: snapshot header: %w", err)
 		}
 	}
-	if version != snapshotVersion && version != snapshotVersion2 {
+	if version < snapshotVersion || version > snapshotVersion3 {
 		return nil, fmt.Errorf("simrank: unsupported snapshot version %d", version)
 	}
 	backend := BackendDense
-	if version == snapshotVersion2 {
+	if version >= snapshotVersion2 {
 		var code uint32
 		if err := binary.Read(tee, binary.LittleEndian, &code); err != nil {
 			return nil, fmt.Errorf("simrank: snapshot header: %w", err)
 		}
 		switch code {
+		case backendCodeDense:
+			// v2 writers never emitted a dense code; only v3 files carry it.
+			if version == snapshotVersion2 {
+				return nil, fmt.Errorf("simrank: v2 snapshot names unknown backend code %d", code)
+			}
 		case backendCodePacked:
 			backend = BackendPacked
 		case backendCodeApprox:
 			backend = BackendApprox
 		default:
 			return nil, fmt.Errorf("simrank: snapshot names unknown backend code %d", code)
+		}
+	}
+	if version >= snapshotVersion3 {
+		// The serialization-time epoch: the floor WAL replay resumes from.
+		if err := binary.Read(tee, binary.LittleEndian, &epoch); err != nil {
+			return nil, fmt.Errorf("simrank: snapshot header: %w", err)
 		}
 	}
 	for _, p := range []any{&n, &m} {
@@ -312,7 +342,7 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 		}
 		store = a
 	}
-	return &Engine{opts: opts.withDefaults(), g: g, s: store}, nil
+	return &Engine{opts: opts.withDefaults(), g: g, s: store, epoch: epoch}, nil
 }
 
 // SnapshotWriter is anything that can serialize itself in the snapshot
@@ -321,10 +351,33 @@ type SnapshotWriter interface {
 	WriteSnapshot(w io.Writer) error
 }
 
-// WriteSnapshotFile persists a snapshot to path atomically: the bytes go
-// to a temp file in the same directory, are synced, and the file is
-// renamed over path — a crash mid-write can never leave a torn snapshot
-// where a previous good one stood.
+// fileSync and dirSync are the fsync seams, swappable in tests to
+// inject sync failures (a real power-loss test being unavailable to a
+// unit suite). dirSync flushes a DIRECTORY's entries — the half of
+// atomic-rename durability that is easy to forget: rename(2) is atomic
+// in the namespace, but the new directory entry itself lives in the
+// parent directory's data and can vanish on power loss until the
+// directory is fsynced.
+var (
+	fileSync = func(f *os.File) error { return f.Sync() }
+	dirSync  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		return fileSync(d)
+	}
+)
+
+// WriteSnapshotFile persists a snapshot to path atomically AND durably:
+// the bytes go to a temp file in the same directory, the temp file is
+// fsynced BEFORE the rename (so the content is on stable storage when
+// the name flips) and the parent directory is fsynced AFTER it (so the
+// flip itself survives power loss). A crash mid-write can never leave a
+// torn snapshot where a previous good one stood, and a returned nil
+// means the snapshot is durable — the write-ahead log may truncate up
+// to its epoch.
 func WriteSnapshotFile(src SnapshotWriter, path string) (err error) {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -340,7 +393,7 @@ func WriteSnapshotFile(src SnapshotWriter, path string) (err error) {
 	if err = src.WriteSnapshot(f); err != nil {
 		return err
 	}
-	if err = f.Sync(); err != nil {
+	if err = fileSync(f); err != nil {
 		return fmt.Errorf("simrank: snapshot sync: %w", err)
 	}
 	if err = f.Close(); err != nil {
@@ -348,6 +401,12 @@ func WriteSnapshotFile(src SnapshotWriter, path string) (err error) {
 	}
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("simrank: snapshot rename: %w", err)
+	}
+	if err = dirSync(filepath.Dir(path)); err != nil {
+		// The rename happened but its durability is unproven; surface the
+		// error so callers (snapshot-then-truncate-WAL flows in particular)
+		// do not treat the snapshot as safely landed.
+		return fmt.Errorf("simrank: snapshot dir sync: %w", err)
 	}
 	return nil
 }

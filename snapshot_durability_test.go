@@ -1,0 +1,236 @@
+package simrank
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// faultWriter is the in-process crash surrogate: it forwards writes to
+// the underlying SnapshotWriter's stream until limit bytes have passed,
+// then fails (failErr non-nil) or silently drops the rest (failErr
+// nil) — the two shapes a dying process gives a half-written file.
+type faultWriter struct {
+	w       io.Writer
+	limit   int
+	written int
+	failErr error
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if fw.written >= fw.limit {
+		if fw.failErr != nil {
+			return 0, fw.failErr
+		}
+		fw.written += len(p)
+		return len(p), nil // drop silently, claim success
+	}
+	keep := min(len(p), fw.limit-fw.written)
+	n, err := fw.w.Write(p[:keep])
+	fw.written += n
+	if err != nil {
+		return n, err
+	}
+	if keep < len(p) {
+		if fw.failErr != nil {
+			return n, fw.failErr
+		}
+		fw.written += len(p) - keep
+		return len(p), nil
+	}
+	return n, nil
+}
+
+// faultSnapshotter wraps an engine so WriteSnapshot streams through a
+// fault writer — a SnapshotWriter whose serialization dies at byte N.
+type faultSnapshotter struct {
+	src   SnapshotWriter
+	limit int
+	err   error
+}
+
+func (fs faultSnapshotter) WriteSnapshot(w io.Writer) error {
+	return fs.src.WriteSnapshot(&faultWriter{w: w, limit: fs.limit, failErr: fs.err})
+}
+
+// TestSnapshotEpochRoundTrip: the v3 header carries the engine epoch
+// and restore resumes there — the WAL-replay floor.
+func TestSnapshotEpochRoundTrip(t *testing.T) {
+	e := mustEngine(t, 5, []Edge{{From: 0, To: 1}, {From: 1, To: 2}}, Options{})
+	for _, up := range []Update{
+		{Edge: Edge{From: 2, To: 3}, Insert: true},
+		{Edge: Edge{From: 3, To: 4}, Insert: true},
+		{Edge: Edge{From: 0, To: 1}, Insert: false},
+	} {
+		if _, err := e.Apply(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Epoch() != 3 {
+		t.Fatalf("engine epoch = %d, want 3", e.Epoch())
+	}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch() != 3 {
+		t.Fatalf("restored epoch = %d, want 3", got.Epoch())
+	}
+	// And the restored engine's next mutations advance the same chain.
+	if _, err := got.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch() != 4 {
+		t.Fatalf("post-restore epoch = %d, want 4", got.Epoch())
+	}
+}
+
+// TestConcurrentSnapshotCarriesViewEpoch: the MVCC facade serializes
+// the pinned view's epoch, not whatever the writer has moved on to.
+func TestConcurrentSnapshotCarriesViewEpoch(t *testing.T) {
+	c, err := NewConcurrentEngine(4, []Edge{{From: 0, To: 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch() != c.Epoch() {
+		t.Fatalf("snapshot epoch %d, view epoch %d", got.Epoch(), c.Epoch())
+	}
+}
+
+// TestWriteSnapshotFileFaultingWriter: a serialization that dies at
+// byte N — for every interesting N — must leave the previous good
+// snapshot byte-identical in place and no temp litter behind.
+func TestWriteSnapshotFileFaultingWriter(t *testing.T) {
+	e := mustEngine(t, 4, []Edge{{From: 0, To: 1}, {From: 1, To: 2}}, Options{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.simr")
+	if err := WriteSnapshotFile(e, path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bang := errors.New("injected write failure")
+	for _, limit := range []int{0, 1, 4, len(good) / 2, len(good) - 1} {
+		t.Run(fmt.Sprintf("fail at byte %d", limit), func(t *testing.T) {
+			err := WriteSnapshotFile(faultSnapshotter{src: e, limit: limit, err: bang}, path)
+			if !errors.Is(err, bang) {
+				t.Fatalf("error = %v, want the injected failure", err)
+			}
+			after, rerr := os.ReadFile(path)
+			if rerr != nil || !bytes.Equal(after, good) {
+				t.Fatalf("previous good snapshot disturbed (err=%v, %d bytes vs %d)", rerr, len(after), len(good))
+			}
+			entries, _ := os.ReadDir(dir)
+			if len(entries) != 1 {
+				t.Fatalf("temp litter left behind: %d entries", len(entries))
+			}
+		})
+	}
+
+	// The silent-truncation shape: the writer claims success but dropped
+	// the tail. The corruption is caught at restore time by the CRC, and
+	// — because the rename DID happen — this is exactly why the caller
+	// synced the payload first in the real path; assert the file is at
+	// least detected as bad rather than restoring garbage.
+	if err := WriteSnapshotFile(faultSnapshotter{src: e, limit: 8}, path); err != nil {
+		t.Fatalf("silent truncation surfaced a write error: %v", err)
+	}
+	if _, err := ReadSnapshotFile(path); err == nil {
+		t.Fatal("silently truncated snapshot restored without error")
+	}
+	// Restore the good bytes for any later subtests.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteSnapshotFileSyncFailure: an fsync that fails — the disk
+// refusing durability — must surface as an error and leave the old
+// snapshot in place, for both the pre-rename file sync and the
+// post-rename directory sync.
+func TestWriteSnapshotFileSyncFailure(t *testing.T) {
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}}, Options{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.simr")
+	if err := WriteSnapshotFile(e, path); err != nil {
+		t.Fatal(err)
+	}
+	good, _ := os.ReadFile(path)
+	bang := errors.New("injected fsync failure")
+
+	t.Run("file sync before rename", func(t *testing.T) {
+		orig := fileSync
+		fileSync = func(f *os.File) error { return bang }
+		defer func() { fileSync = orig }()
+		if err := WriteSnapshotFile(e, path); !errors.Is(err, bang) {
+			t.Fatalf("error = %v, want the injected failure", err)
+		}
+		after, _ := os.ReadFile(path)
+		if !bytes.Equal(after, good) {
+			t.Fatal("failed-sync write replaced the good snapshot")
+		}
+		entries, _ := os.ReadDir(dir)
+		if len(entries) != 1 {
+			t.Fatalf("temp litter left behind: %d entries", len(entries))
+		}
+	})
+
+	t.Run("dir sync after rename", func(t *testing.T) {
+		orig := dirSync
+		dirSync = func(string) error { return bang }
+		defer func() { dirSync = orig }()
+		// The rename has happened by the time the dir sync fails: the new
+		// content is in place (and readable), but the caller must hear
+		// about the unproven durability — snapshot-then-truncate-WAL flows
+		// gate on it.
+		if err := WriteSnapshotFile(e, path); !errors.Is(err, bang) {
+			t.Fatalf("error = %v, want the injected failure", err)
+		}
+		if _, err := ReadSnapshotFile(path); err != nil {
+			t.Fatalf("snapshot content unreadable after dir-sync failure: %v", err)
+		}
+	})
+}
+
+// TestWriteSnapshotFileFsyncsDirectory pins the regression: a
+// successful WriteSnapshotFile must fsync the parent directory (the
+// rename's durability), which the seed implementation forgot.
+func TestWriteSnapshotFileFsyncsDirectory(t *testing.T) {
+	e := mustEngine(t, 3, []Edge{{From: 0, To: 1}}, Options{})
+	dir := t.TempDir()
+	synced := []string{}
+	orig := dirSync
+	dirSync = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	defer func() { dirSync = orig }()
+	if err := WriteSnapshotFile(e, filepath.Join(dir, "state.simr")); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("dir fsyncs = %v, want exactly the snapshot's parent %q", synced, dir)
+	}
+}

@@ -137,5 +137,5 @@ func (v *engineView) similarities() *matrix.Dense { return v.s.ToDense() }
 // snapshot at this view's epoch, taken while the writer keeps
 // committing.
 func (v *engineView) writeSnapshot(w io.Writer) error {
-	return writeSnapshotData(w, v.opts, v.n, v.g.Edges(), v.s)
+	return writeSnapshotData(w, v.opts, v.epoch, v.n, v.g.Edges(), v.s)
 }
