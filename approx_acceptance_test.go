@@ -41,7 +41,7 @@ func TestApproxStatisticalAcceptance(t *testing.T) {
 
 	for gi, g := range graphs {
 		exact := batch.JehWidom(g, c, k)
-		est, err := montecarlo.NewIndex(g).NewEstimator(c, k, 55+int64(gi))
+		est, err := montecarlo.NewIndex(g, c, k, walks, 55+int64(gi))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,6 +99,139 @@ func TestApproxDeterministicUnderSeed(t *testing.T) {
 	for i := range t1 {
 		if t1[i] != t2[i] {
 			t.Fatalf("TopKFor[%d] %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+}
+
+// driveApproxUpdateStream pushes a mixed stream of Apply / ApplyBatch /
+// AddNodes through an approx engine while mirroring the topology in a
+// plain DiGraph, so callers can build an exact reference over the
+// post-update graph. Batches are generated sequentially valid against
+// the mirror (the same overlay contract ApplyBatch validates).
+func driveApproxUpdateStream(t *testing.T, eng *Engine, mirror *graph.DiGraph, rng *rand.Rand, steps int) {
+	t.Helper()
+	nextUpdate := func() Update {
+		n := mirror.N()
+		from, to := rng.Intn(n), rng.Intn(n)
+		up := Update{Edge: Edge{From: from, To: to}, Insert: !mirror.HasEdge(from, to)}
+		mirror.Apply(up)
+		return up
+	}
+	for s := 0; s < steps; s++ {
+		switch r := rng.Intn(10); {
+		case r == 0:
+			count := 1 + rng.Intn(2)
+			mirror.AddNodes(count)
+			if _, err := eng.AddNodes(count); err != nil {
+				t.Fatalf("step %d: AddNodes(%d): %v", s, count, err)
+			}
+		case r <= 3:
+			ups := make([]Update, 1+rng.Intn(5))
+			for i := range ups {
+				ups[i] = nextUpdate()
+			}
+			if err := eng.ApplyBatch(ups); err != nil {
+				t.Fatalf("step %d: ApplyBatch(%d): %v", s, len(ups), err)
+			}
+		default:
+			up := nextUpdate()
+			if _, err := eng.Apply(up); err != nil {
+				t.Fatalf("step %d: Apply(%+v): %v", s, up, err)
+			}
+		}
+	}
+	if eng.N() != mirror.N() || eng.M() != mirror.M() {
+		t.Fatalf("engine (n=%d m=%d) drifted from mirror (n=%d m=%d)", eng.N(), eng.M(), mirror.N(), mirror.M())
+	}
+}
+
+// The statistical gate on the *writable* tier: after a random mixed
+// insert/delete/grow stream, the repaired walk index must still track
+// the exact Jeh–Widom fixed point of the POST-update graph — ≥95% of
+// all pairs within 3 estimated standard errors. This is what makes
+// incremental repair trustworthy: not that the index changed cheaply,
+// but that what it converged to is still the right distribution.
+func TestApproxStatisticalAcceptanceAfterUpdates(t *testing.T) {
+	const (
+		c     = 0.6
+		k     = 8
+		walks = 4000
+	)
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 2; trial++ {
+		n := 18 + rng.Intn(8)
+		mirror := graph.New(n)
+		for mirror.M() < 3*n {
+			mirror.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		eng, err := NewEngine(mirror.N(), mirror.Edges(), Options{
+			C: c, K: k, Backend: BackendApprox, ApproxWalks: walks, ApproxSeed: 300 + int64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveApproxUpdateStream(t, eng, mirror, rng, 40)
+
+		exact := batch.JehWidom(mirror, c, k)
+		total, within := 0, 0
+		var worst float64
+		for a := 0; a < mirror.N(); a++ {
+			for b := a + 1; b < mirror.N(); b++ {
+				mean, stderr := eng.SimilarityStderr(a, b)
+				errAbs := math.Abs(mean - exact.At(a, b))
+				total++
+				if errAbs <= 3*stderr {
+					within++
+				} else if errAbs > worst {
+					worst = errAbs
+				}
+			}
+		}
+		frac := float64(within) / float64(total)
+		if frac < 0.95 {
+			t.Fatalf("trial %d: only %.1f%% of %d pairs within 3·stderr after updates (worst miss %g)",
+				trial, 100*frac, total, worst)
+		}
+	}
+}
+
+// The determinism property behind every durability claim: an engine
+// that absorbed a random update stream by incremental repair answers
+// every query bit-identically to a fresh engine built at the same seed
+// over the final graph. (The WAL half of this property — replaying the
+// acked stream into a bit-identical index — is exercised end-to-end by
+// the kill-9 test in cmd/simrankd.)
+func TestApproxRepairStreamMatchesFreshEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	mirror := graph.New(20)
+	for mirror.M() < 50 {
+		mirror.AddEdge(rng.Intn(20), rng.Intn(20))
+	}
+	opts := Options{C: 0.6, K: 8, Backend: BackendApprox, ApproxWalks: 128, ApproxSeed: 99}
+	eng, err := NewEngine(mirror.N(), mirror.Edges(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveApproxUpdateStream(t, eng, mirror, rng, 60)
+
+	fresh, err := NewEngine(mirror.N(), mirror.Edges(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < mirror.N(); a++ {
+		for b := 0; b < mirror.N(); b++ {
+			if got, want := eng.Similarity(a, b), fresh.Similarity(a, b); got != want {
+				t.Fatalf("s(%d,%d): repaired %v vs fresh %v", a, b, got, want)
+			}
+		}
+		gt, ft := eng.TopKFor(a, 6), fresh.TopKFor(a, 6)
+		if len(gt) != len(ft) {
+			t.Fatalf("TopKFor(%d) lengths %d vs %d", a, len(gt), len(ft))
+		}
+		for i := range gt {
+			if gt[i] != ft[i] {
+				t.Fatalf("TopKFor(%d)[%d]: %+v vs %+v", a, i, gt[i], ft[i])
+			}
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package simrank
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/simstore"
+)
+
+// BenchmarkApproxRepair is the cost model of the writable approx tier,
+// published by CI as BENCH_approx_repair.json: incremental walk repair
+// vs full rebuild on an n = 100,000 graph. The out-degree of the
+// toggled edge's endpoint is swept because that is what sets the
+// affected-walk fraction — a walk visits node j with probability
+// governed by how many nodes list j as an in-neighbor — so the sweep
+// ranges from "a handful of owner walks" to "a hub many walks cross".
+// The fraction actually resampled per update rides along as a custom
+// metric; the rebuild sub-benchmark is the O(n·W·L) baseline every
+// repair is supposed to beat by orders of magnitude.
+func BenchmarkApproxRepair(b *testing.B) {
+	const (
+		n       = 100_000
+		c       = 0.6
+		walkLen = 10
+		walks   = 8
+		seed    = 17
+	)
+	baseGraph := func() *graph.DiGraph {
+		g := graph.New(n)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n) // ring: every node has an in-neighbor
+		}
+		for g.M() < 3*n {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		return g
+	}
+	for _, deg := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("repair/outdeg=%d", deg), func(b *testing.B) {
+			g := baseGraph()
+			const j = n / 2
+			rng := rand.New(rand.NewSource(int64(deg)))
+			for added := 0; added < deg; {
+				to := rng.Intn(n)
+				if to != j && !g.HasEdge(j, to) {
+					g.AddEdge(j, to)
+					added++
+				}
+			}
+			a, err := simstore.NewApprox(g, c, walkLen, walks, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const aux = 3
+			insert := !g.HasEdge(aux, j)
+			before, _ := a.RepairStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				up := graph.Update{Edge: graph.Edge{From: aux, To: j}, Insert: insert}
+				g.Apply(up)
+				a.ApplyUpdate(up)
+				insert = !insert
+			}
+			b.StopTimer()
+			after, _ := a.RepairStats()
+			perOp := float64(after-before) / float64(b.N)
+			b.ReportMetric(perOp, "resampled-walks/op")
+			b.ReportMetric(perOp/float64(n*walks), "resampled-fraction/op")
+		})
+	}
+	b.Run("rebuild/full", func(b *testing.B) {
+		g := baseGraph()
+		for i := 0; i < b.N; i++ {
+			if _, err := simstore.NewApprox(g, c, walkLen, walks, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

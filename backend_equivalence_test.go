@@ -2,12 +2,14 @@ package simrank
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/matrix"
 )
 
@@ -276,25 +278,64 @@ func TestPackedStoreBytesAcceptance(t *testing.T) {
 	}
 }
 
-// The approx backend must reject the whole mutation surface with
-// ErrReadOnlyBackend — cleanly, no panic — while queries keep serving.
-func TestApproxBackendReadOnly(t *testing.T) {
+// The approx backend accepts the whole graph-mutation surface — Apply,
+// ApplyBatch, AddNodes, Recompute — absorbing each through incremental
+// walk repair, while the surfaces that require a materialized matrix
+// (Similarities, global TopK) still answer nil. Bad updates get the
+// same typed rejection as the exact backends.
+func TestApproxBackendWritable(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	g := randTestGraph(rng, 20, 80)
 	eng, err := NewEngine(g.N(), g.Edges(), Options{Backend: BackendApprox, ApproxWalks: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Insert(0, 1); err != ErrReadOnlyBackend {
-		t.Fatalf("Insert error = %v, want ErrReadOnlyBackend", err)
+	from, to := 0, 1
+	for g.HasEdge(from, to) {
+		to++
 	}
-	if err := eng.ApplyBatch([]Update{{Edge: Edge{From: 0, To: 1}, Insert: true}}); err != ErrReadOnlyBackend {
-		t.Fatalf("ApplyBatch error = %v, want ErrReadOnlyBackend", err)
+	st, err := eng.Insert(from, to)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
 	}
-	if _, err := eng.AddNodes(2); err != ErrReadOnlyBackend {
-		t.Fatalf("AddNodes error = %v, want ErrReadOnlyBackend", err)
+	if eng.Epoch() != 1 {
+		t.Fatalf("epoch after Insert = %d, want 1", eng.Epoch())
 	}
-	eng.Recompute() // no-op, must not panic
+	if len(st.DirtyRows) == 0 {
+		t.Fatal("inserting an in-edge of a live node should dirty some walk rows")
+	}
+	// Duplicate insert: same typed rejection as the exact backends.
+	if _, err := eng.Insert(from, to); err == nil {
+		t.Fatal("duplicate insert accepted")
+	} else {
+		var bad *core.ErrBadUpdate
+		if !errors.As(err, &bad) {
+			t.Fatalf("duplicate insert error = %v, want *core.ErrBadUpdate", err)
+		}
+	}
+	if err := eng.ApplyBatch([]Update{
+		{Edge: Edge{From: from, To: to}, Insert: false},
+		{Edge: Edge{From: from, To: to}, Insert: true},
+	}); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	oldN := eng.N()
+	first, err := eng.AddNodes(2)
+	if err != nil {
+		t.Fatalf("AddNodes: %v", err)
+	}
+	if first != oldN || eng.N() != oldN+2 {
+		t.Fatalf("AddNodes: first=%d n=%d, want %d and %d", first, eng.N(), oldN, oldN+2)
+	}
+	// New ids are immediately writable.
+	if _, err := eng.Insert(0, first); err != nil {
+		t.Fatalf("Insert to a new node: %v", err)
+	}
+	before := eng.Epoch()
+	eng.Recompute()
+	if eng.Epoch() != before+1 {
+		t.Fatal("Recompute on approx must commit an epoch (full resample)")
+	}
 	if eng.Similarities() != nil {
 		t.Fatal("approx Similarities should be nil")
 	}
@@ -339,15 +380,18 @@ func TestApproxTopKForBypassesCache(t *testing.T) {
 
 // A walk budget the engine accepts must be a budget its snapshot can
 // restore: the construction bound and the restore bound are one
-// constant, and budgets past it are rejected up front instead of
-// producing an unrestorable snapshot.
+// constant (simstore.MaxWalks), and budgets past it are rejected up
+// front instead of producing an unrestorable snapshot. The round trip
+// runs at a CI-friendly budget — with stored walks the maximum budget
+// is a RAM decision (n·W·(L+1) int32 slots), not a correctness one,
+// and acceptance ⇒ restorability is carried by the shared constant.
 func TestApproxWalksBoundMatchesSnapshot(t *testing.T) {
 	if _, err := NewEngine(4, nil, Options{Backend: BackendApprox, ApproxWalks: 2_000_000}); err == nil {
 		t.Fatal("over-limit ApproxWalks accepted at construction")
 	}
 	rng := rand.New(rand.NewSource(83))
 	g := randTestGraph(rng, 10, 30)
-	eng, err := NewEngine(g.N(), g.Edges(), Options{Backend: BackendApprox, ApproxWalks: 1 << 20})
+	eng, err := NewEngine(g.N(), g.Edges(), Options{Backend: BackendApprox, ApproxWalks: 1 << 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,6 +400,6 @@ func TestApproxWalksBoundMatchesSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := ReadSnapshot(&buf); err != nil {
-		t.Fatalf("maximum accepted walk budget failed to restore: %v", err)
+		t.Fatalf("accepted walk budget failed to restore: %v", err)
 	}
 }

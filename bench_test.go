@@ -598,7 +598,7 @@ func BenchmarkParallelBatch(b *testing.B) {
 // (the related-work estimator family, Section II-B).
 func BenchmarkMonteCarloPair(b *testing.B) {
 	g := gen.PrefAttach(400, 6, 29)
-	est, err := montecarlo.New(g, 0.6, 0, 31)
+	est, err := montecarlo.NewIndex(g, 0.6, 0, 100, 31)
 	if err != nil {
 		b.Fatal(err)
 	}

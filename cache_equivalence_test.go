@@ -129,7 +129,17 @@ func runCachedStream(t *testing.T, rng *rand.Rand, opts Options) {
 	}
 
 	// The stream must actually have exercised the cache, not bypassed it.
+	// Except on approx, where bypassing IS the contract (a sampled list
+	// shorter than k is not an exhausted row, so caching it would
+	// truncate larger-k answers); there the property above checked that
+	// the bypass is bit-transparent, and the stats must stay empty.
 	st := cached.CacheStats()
+	if opts.Backend == BackendApprox {
+		if st.RowHits != 0 || st.RowMisses != 0 {
+			t.Fatalf("approx queries touched the row cache: %+v", st)
+		}
+		return
+	}
 	if st.RowHits == 0 || st.RowMisses == 0 {
 		t.Fatalf("stream did not exercise the cache: %+v", st)
 	}

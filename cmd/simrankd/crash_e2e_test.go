@@ -183,14 +183,16 @@ var crashPhase2 = []simrank.Update{
 	{Edge: simrank.Edge{From: 1, To: 7}, Insert: true},
 }
 
-// TestCrashRecoveryKill9 is the tentpole's end-to-end proof, per exact
+// TestCrashRecoveryKill9 is the end-to-end durability proof, per
 // backend: stream acknowledged writes into a live simrankd (taking a
 // mid-stream snapshot so recovery exercises restore + tail replay),
 // SIGKILL it with no warning, restart over the same WAL directory, shut
 // down gracefully, and compare the final persisted state against a
 // serial in-process replay of the acknowledged stream — bit-identical
 // for dense, 1e-12 for packed (its store canonicalizes on the upper
-// triangle).
+// triangle), and bit-identical again for approx: WAL replay repairs the
+// walk index through the same pure (graph, seed) function the live
+// stream did, so recovery cannot drift even by one bit.
 func TestCrashRecoveryKill9(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns real processes")
@@ -201,6 +203,7 @@ func TestCrashRecoveryKill9(t *testing.T) {
 	}{
 		{simrank.BackendDense, 0},
 		{simrank.BackendPacked, 1e-12},
+		{simrank.BackendApprox, 0},
 	} {
 		t.Run(string(tc.backend), func(t *testing.T) {
 			t.Parallel()
@@ -208,8 +211,12 @@ func TestCrashRecoveryKill9(t *testing.T) {
 			walDir := filepath.Join(dir, "wal")
 			snap := filepath.Join(dir, "state.simr")
 
-			p1 := startChild(t, "-n", "8", "-backend", string(tc.backend),
-				"-wal-dir", walDir, "-snapshot", snap)
+			args := []string{"-n", "8", "-backend", string(tc.backend),
+				"-wal-dir", walDir, "-snapshot", snap}
+			if tc.backend == simrank.BackendApprox {
+				args = append(args, "-approx-walks", "64", "-approx-seed", "7")
+			}
+			p1 := startChild(t, args...)
 			for _, up := range crashPhase1 {
 				p1.ack(t, up)
 			}
@@ -235,7 +242,8 @@ func TestCrashRecoveryKill9(t *testing.T) {
 			// cycles used (sequential ?wait=1 posts never coalesce).
 			// The oracle's options must match the child's flags (simrankd
 			// defaults: -c 0.6 -k 15, pruning on).
-			serialEng, err := simrank.NewEngine(8, nil, simrank.Options{C: 0.6, K: 15, Backend: tc.backend})
+			serialEng, err := simrank.NewEngine(8, nil, simrank.Options{
+				C: 0.6, K: 15, Backend: tc.backend, ApproxWalks: 64, ApproxSeed: 7})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -258,6 +266,18 @@ func TestCrashRecoveryKill9(t *testing.T) {
 					}
 				}
 			}
+			if tc.backend == simrank.BackendApprox {
+				// No materialized matrix — compare every sampled score, at
+				// tolerance zero: replay is the same derived-seed repair.
+				for i := 0; i < sn; i++ {
+					for j := 0; j < sn; j++ {
+						if got, want := restored.Similarity(i, j), serial.Similarity(i, j); got != want {
+							t.Fatalf("recovered s(%d,%d) = %v, serial replay %v", i, j, got, want)
+						}
+					}
+				}
+				return
+			}
 			d := matrix.MaxAbsDiff(serial.Similarities(), restored.Similarities())
 			if d > tc.tol {
 				t.Fatalf("recovered store drifted %g from serial replay (tolerance %g)", d, tc.tol)
@@ -266,10 +286,12 @@ func TestCrashRecoveryKill9(t *testing.T) {
 	}
 }
 
-// TestCrashRecoveryApproxDeterminism: the approx tier is read-only (no
-// update stream to recover), so its crash story is snapshot
-// determinism — kill -9 after a snapshot, restore, and every sampled
-// score and stderr must come back exactly (the walks are seeded).
+// TestCrashRecoveryApproxDeterminism: the approx tier's crash story is
+// derived-seed determinism — acknowledged updates straddle a mid-stream
+// snapshot, the process dies with kill -9, and after restore + WAL tail
+// replay every sampled score must come back EXACTLY: snapshot restore
+// rebuilds the stored walks from (graph, seed) and tail replay repairs
+// them through the same pure function the live stream used.
 func TestCrashRecoveryApproxDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns real processes")
@@ -286,7 +308,10 @@ func TestCrashRecoveryApproxDeterminism(t *testing.T) {
 	p1 := startChild(t, "-graph", graphFile, "-backend", "approx",
 		"-approx-walks", "64", "-approx-seed", "7",
 		"-wal-dir", walDir, "-snapshot", snap)
-	p1.post(t, "/snapshot")
+	p1.ack(t, simrank.Update{Edge: simrank.Edge{From: 3, To: 0}, Insert: true})
+	p1.post(t, "/snapshot") // recovery must compose restore + tail replay
+	p1.ack(t, simrank.Update{Edge: simrank.Edge{From: 2, To: 3}, Insert: false})
+	p1.ack(t, simrank.Update{Edge: simrank.Edge{From: 1, To: 3}, Insert: true})
 	var before [5][5]float64
 	for i := 0; i < 5; i++ {
 		for j := 0; j < 5; j++ {

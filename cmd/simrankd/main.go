@@ -21,10 +21,11 @@
 //
 // -backend selects the similarity store: dense (exact, 8n² bytes),
 // packed (exact, ≈4n² bytes — the same engine at half the memory) or
-// approx (read-only Monte-Carlo tier, O(n+m) bytes — the only backend
-// that loads graphs whose n² is out of budget; write endpoints answer
-// 409 there). The backend is baked into snapshots, so it conflicts with
-// -restore.
+// approx (Monte-Carlo stored-walk tier, O(n·(walks·k+d)) bytes — the
+// only backend that loads graphs whose n² is out of budget; updates are
+// absorbed by repairing just the affected walk suffixes, and /stats
+// reports the repair work as walks_repaired/walk_resample_fraction).
+// The backend is baked into snapshots, so it conflicts with -restore.
 //
 // With -snapshot set, POST /snapshot persists on demand and a graceful
 // shutdown (SIGINT/SIGTERM) drains the write pipeline and writes a final
@@ -79,7 +80,7 @@ func run() error {
 		noPrune  = flag.Bool("no-prune", false, "use Inc-uSR (no pruning) for updates")
 		backend  = flag.String("backend", "dense", "similarity store: dense, packed or approx")
 		walks    = flag.Int("approx-walks", 128, "approx backend: walks per pair (stderr shrinks as 1/sqrt)")
-		seed     = flag.Int64("approx-seed", 1, "approx backend: RNG seed")
+		seed     = flag.Int64("approx-seed", 1, "approx backend: derived-seed root for the stored walks")
 		workers  = flag.Int("workers", 0, "batch-computation goroutines (0 = GOMAXPROCS)")
 		topkRows = flag.Int("topk-cache", 4096, "rows retained by the dirty-row top-k query cache (0 disables)")
 		queue    = flag.Int("queue", 1024, "write-pipeline queue size (requests)")

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/simstore"
 	"repro/internal/wal"
 )
 
@@ -30,7 +31,8 @@ import (
 // Memory: dense writers keep a second n×n buffer and re-sync only the
 // rows updates dirtied (warm Apply stays zero-allocation); packed
 // writers copy-on-write ~64 KiB triangle chunks as they touch them;
-// approx is immutable and shares everything. A long-running reader
+// approx writers copy-on-write per-node walk rows as repairs touch
+// them. A long-running reader
 // pinning an old view costs at most its view's buffers — the writer
 // detects the straggler and abandons the buffer to the GC instead of
 // blocking or racing it.
@@ -232,6 +234,14 @@ type ViewInfo struct {
 	// cache is disabled). The counters themselves are cache-lifetime
 	// monotone, shared across views.
 	Cache CacheStats
+	// WalksRepaired and WalkResampleFraction are the approx backend's
+	// incremental-repair gauges as of the view's seal (zero elsewhere):
+	// cumulative walks whose suffix was resampled, and that work as a
+	// fraction of what full per-update rebuilds would have resampled —
+	// the affected-area win, ≈ the mean walk-visit probability of the
+	// updated nodes.
+	WalksRepaired        uint64
+	WalkResampleFraction float64
 }
 
 // ViewInfo returns a coherent reading of the published view — size,
@@ -250,6 +260,12 @@ func (c *ConcurrentEngine) ViewInfo() ViewInfo {
 	}
 	if v.cache != nil {
 		vi.Cache = v.cache.Stats()
+	}
+	if as, ok := v.s.(*simstore.Approx); ok {
+		// The sealed view's counters are a point-in-time copy taken at
+		// Seal, so these gauges are epoch-coherent with the rest.
+		vi.WalksRepaired, _ = as.RepairStats()
+		vi.WalkResampleFraction = as.ResampleFraction()
 	}
 	return vi
 }
@@ -336,7 +352,7 @@ func (c *ConcurrentEngine) Recompute() error {
 	c.prepareWrite()
 	before := c.eng.Epoch()
 	c.eng.Recompute()
-	if c.eng.Epoch() == before { // no-op on the read-only backend
+	if c.eng.Epoch() == before { // every backend bumps today; kept as a guard
 		return nil
 	}
 	werr := c.logRecord(wal.KindRecompute, nil, 0)

@@ -52,7 +52,9 @@
 // Sealing copies no similarity payload: the dense backend double-buffers
 // and re-syncs only each update's dirty rows (warm Apply stays
 // zero-allocation), packed copy-on-writes ~64 KiB triangle chunks, and
-// approx is immutable. The plain Engine never seals and pays nothing.
+// approx copy-on-writes per-node walk rows, so a pinned view keeps
+// serving its frozen walk set while the writer repairs past it. The
+// plain Engine never seals and pays nothing.
 // See the README's "Concurrency model" section for costs and the
 // straggling-reader story.
 //
@@ -92,13 +94,21 @@
 // Options.Backend: "dense" (the exact 8n²-byte baseline), "packed"
 // (exact symmetric upper-triangular storage at ≈4n² — the same
 // incremental machinery writing through a symmetric AddSym, warm Apply
-// still allocation-free) and "approx" (no matrix at all: a read-only
-// Monte-Carlo tier over a shared O(n+m) walk index, answering queries by
-// sampling with a reported standard error — the only backend that loads
-// 100k+-node graphs). Mutations on approx return ErrReadOnlyBackend;
-// snapshots carry a versioned header per backend and round-trip
-// byte-identically. See the README's "Backends" section for the
-// memory formulas and tier-selection guidance.
+// still allocation-free) and "approx" (no matrix at all: a writable
+// Monte-Carlo tier over a stored-walk index in O(n·(W·L+d)) memory,
+// answering queries deterministically with a reported standard error —
+// the only backend that loads 100k+-node graphs). Approx absorbs edge
+// updates by incremental walk repair: every walk position is a pure
+// function of (graph, seed), so an update at node j resamples only the
+// walk suffixes that pass through j — the affected fraction is j's
+// walk-visit probability — at a cost of O(affected · remaining-steps)
+// against the full O(n·W·L) resample, and lands bit-identically on what
+// a fresh rebuild over the new graph would hold. Recompute remains the
+// full resample for when the graph has churned wholesale. Snapshots
+// carry a versioned header per backend and round-trip byte-identically;
+// approx snapshots store only (budget, seed, repair generation) and
+// rebuild the walks on restore. See the README's "Backends" section for
+// the memory formulas and tier-selection guidance.
 //
 // # Query caching
 //

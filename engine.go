@@ -29,7 +29,8 @@ type Backend = simstore.Backend
 
 // The available similarity-store backends (see internal/simstore):
 // dense is the exact 8n²-byte baseline, packed the exact symmetric
-// ≈4n²-byte store, approx the read-only O(n+m) Monte-Carlo tier.
+// ≈4n²-byte store, approx the Monte-Carlo stored-walk tier — sub-n²
+// memory, writable via incremental walk repair.
 const (
 	BackendDense  = simstore.BackendDense
 	BackendPacked = simstore.BackendPacked
@@ -39,12 +40,6 @@ const (
 // ParseBackend validates a backend name ("" selects dense) — the parser
 // behind Options.Backend and the simrankd -backend flag.
 func ParseBackend(s string) (Backend, error) { return simstore.ParseBackend(s) }
-
-// ErrReadOnlyBackend is returned by every mutation (Apply, ApplyBatch,
-// Insert, Delete, AddNodes) on an approx-backend engine: the sampling
-// tier has no materialized similarity matrix to fold updates into.
-// Rebuild the engine over the new graph instead.
-var ErrReadOnlyBackend = fmt.Errorf("simrank: %w", simstore.ErrReadOnly)
 
 // Options configures an Engine. The zero value selects the paper's
 // defaults: C = 0.6, K = 15, pruning enabled.
@@ -84,20 +79,25 @@ type Options struct {
 	// Backend selects the similarity store the engine keeps S in; the
 	// empty value selects "dense", today's exact 8n²-byte matrix. "packed"
 	// is the exact symmetric store at about half that; "approx" drops the
-	// matrix entirely for a read-only Monte-Carlo sampling tier (O(n+m)
-	// memory, per-query standard errors) — the only backend that loads
+	// matrix entirely for a Monte-Carlo stored-walk tier (O(n·(W·L+d))
+	// memory, per-query standard errors, updates absorbed by repairing
+	// only the affected walk suffixes) — the only backend that loads
 	// graphs whose n² is out of budget. The backend is baked into the
 	// similarity state and persisted in snapshots.
 	Backend Backend
 	// ApproxWalks is the per-pair walk budget of the approx backend
 	// (ignored elsewhere); 0 selects the default 128, the maximum is
 	// simstore.MaxWalks (the same bound snapshots enforce on restore).
-	// More walks shrink the standard error as 1/√walks and cost linearly
-	// more per query.
+	// More walks shrink the standard error as 1/√walks; with stored
+	// walks the budget prices memory (W·(K+1) positions per node) as
+	// well as per-query reads.
 	ApproxWalks int
-	// ApproxSeed seeds the approx backend's RNG (ignored elsewhere);
-	// 0 selects the default 1. A fixed seed makes a sequential query
-	// stream reproducible.
+	// ApproxSeed is the approx backend's derived-seed root (ignored
+	// elsewhere); 0 selects the default 1. The whole walk set is a pure
+	// function of (graph, seed, walks, K), so equal-seed engines over
+	// equal graphs answer queries bit-identically — whether the graph
+	// was reached by construction, incremental repair, WAL replay or
+	// snapshot restore.
 	ApproxSeed int64
 }
 
@@ -147,7 +147,8 @@ type Engine struct {
 	g    *graph.DiGraph
 	// s is the similarity store (see Options.Backend): a dense or packed
 	// exact matrix the incremental machinery writes through, or the
-	// read-only approx sampling tier.
+	// approx sampling tier, whose stored walks the write paths repair
+	// incrementally instead (see Apply's approx branch).
 	s simstore.Store
 	// ws is the persistent compute workspace: the incrementally-maintained
 	// transition matrices plus every update scratch buffer, so steady-state
@@ -174,8 +175,8 @@ type Engine struct {
 // Exact backends (dense, packed) compute the initial similarities with
 // the batch algorithm (row-parallel across Options.Workers goroutines);
 // the approx backend skips the O(Kd'n²) batch step entirely and only
-// builds its O(n+m) walk index — which is what lets it load graphs whose
-// n×n matrix could never be materialized.
+// samples its O(n·(W·K+d)) stored-walk index — which is what lets it
+// load graphs whose n×n matrix could never be materialized.
 func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -225,9 +226,6 @@ func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 // replay knows where to start and post-restore appends keep advancing
 // the same chain.
 func (e *Engine) Epoch() uint64 { return e.epoch }
-
-// readOnly reports whether the engine's backend rejects mutation.
-func (e *Engine) readOnly() bool { return e.opts.Backend == BackendApprox }
 
 // Backend returns the similarity-store backend the engine runs on.
 func (e *Engine) Backend() Backend { return e.s.Backend() }
@@ -382,9 +380,30 @@ func (e *Engine) Delete(i, j int) (UpdateStats, error) {
 // lifetime contract on core.Stats.DirtyRows. ConcurrentEngine's
 // wrappers return the detached copy snapshotted at view-publish time
 // instead.
+//
+// On the approx backend the update instead repairs the stored-walk
+// index: DirtyRows is a fresh slice naming the nodes whose walk sets
+// changed, and the only stats populated are DirtyRows itself.
 func (e *Engine) Apply(up Update) (UpdateStats, error) {
-	if e.readOnly() {
-		return UpdateStats{}, ErrReadOnlyBackend
+	if as, ok := e.s.(*simstore.Approx); ok {
+		// The sampling tier bypasses the Inc-SR/Inc-uSR write-backs — it
+		// has no matrix cells for them. Instead the walk index absorbs the
+		// topology change directly, resampling only the invalidated walk
+		// suffixes. Same validation, same error shapes as the exact path.
+		if err := e.validateBatch([]Update{up}); err != nil {
+			return UpdateStats{}, err
+		}
+		e.g.Apply(up)
+		if e.ws != nil {
+			e.ws.ApplyUpdate(up)
+		}
+		st := UpdateStats{DirtyRows: as.ApplyUpdate(up)}
+		e.epoch++
+		if e.cache != nil {
+			e.cache.InvalidateRows(st.DirtyRows, e.epoch)
+		}
+		e.lastStats = st
+		return st, nil
 	}
 	// The workspace variants never mutate S before their last error check,
 	// so a failed update leaves the engine untouched.
@@ -429,9 +448,6 @@ func (e *Engine) Apply(up Update) (UpdateStats, error) {
 func (e *Engine) ApplyBatch(ups []Update) error {
 	if len(ups) == 0 {
 		return nil
-	}
-	if e.readOnly() {
-		return ErrReadOnlyBackend
 	}
 	if err := e.validateBatch(ups); err != nil {
 		return err
@@ -500,9 +516,6 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 	if count < 0 {
 		return 0, fmt.Errorf("simrank: negative node count %d", count)
 	}
-	if e.readOnly() {
-		return 0, ErrReadOnlyBackend
-	}
 	first = e.g.AddNodes(count)
 	e.s = e.s.AddNodes(count, 1-e.opts.C)
 	// The workspace is sized for the old n; rebuild it lazily at the new
@@ -527,10 +540,19 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 // recompute (Workers = 1) allocates nothing. The packed backend iterates
 // on two transient dense buffers and compresses the result back into
 // packed storage: its recompute transiently costs 16n² bytes, but its
-// steady state never retains a dense buffer. The read-only approx
-// backend has nothing to rebuild; Recompute is a no-op there.
+// steady state never retains a dense buffer. The approx backend
+// resamples its whole walk set from the current graph — by the derived
+// -seed invariant the outcome is identical to the incremental repairs
+// that could have reached the same topology, so here too Recompute is
+// about cost (one O(n·W·L) pass beating many per-edge repairs), never
+// correctness.
 func (e *Engine) Recompute() {
-	if e.readOnly() {
+	if as, ok := e.s.(*simstore.Approx); ok {
+		as.Recompute(e.g)
+		e.epoch++
+		if e.cache != nil {
+			e.cache.Flush(e.epoch)
+		}
 		return
 	}
 	ws := e.workspace()

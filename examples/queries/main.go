@@ -52,7 +52,7 @@ func main() {
 		best, bestScore, eng.Similarity(query, best))
 
 	// 3. Monte Carlo top-k: approximate, tunable walk budget.
-	est, err := montecarlo.New(g, c, 0, 123)
+	est, err := montecarlo.NewIndex(g, c, 0, 1600, 123)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,13 +13,19 @@ import (
 
 func TestNewValidation(t *testing.T) {
 	g := graph.New(3)
-	if _, err := New(g, 0, 0, 1); err == nil {
+	if _, err := NewIndex(g, 0, 0, 8, 1); err == nil {
 		t.Fatal("want error for C=0")
 	}
-	if _, err := New(g, 1, 0, 1); err == nil {
+	if _, err := NewIndex(g, 1, 0, 8, 1); err == nil {
 		t.Fatal("want error for C=1")
 	}
-	e, err := New(g, 0.6, 0, 1)
+	if _, err := NewIndex(g, 0.6, 0, 0, 1); err == nil {
+		t.Fatal("want error for zero walks")
+	}
+	if _, err := NewIndex(g, 0.6, 300, 8, 1); err == nil {
+		t.Fatal("want error for a walk length past the posting limit")
+	}
+	e, err := NewIndex(g, 0.6, 0, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +36,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestPairIdentity(t *testing.T) {
 	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}})
-	e, _ := New(g, 0.6, 0, 1)
+	e, _ := NewIndex(g, 0.6, 0, 10, 1)
 	if e.Pair(1, 1, 10) != 1 {
 		t.Fatal("s(a,a) must be 1")
 	}
@@ -39,7 +45,7 @@ func TestPairIdentity(t *testing.T) {
 func TestPairZeroWhenNoInLinks(t *testing.T) {
 	// Node 0 has no in-neighbors → s(0, x) = 0 for x ≠ 0.
 	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}})
-	e, _ := New(g, 0.8, 0, 1)
+	e, _ := NewIndex(g, 0.8, 0, 200, 1)
 	if got := e.Pair(0, 1, 200); got != 0 {
 		t.Fatalf("s(0,1) = %v, want 0", got)
 	}
@@ -49,7 +55,7 @@ func TestPairSingleCommonParent(t *testing.T) {
 	// 0→1, 0→2: walks from 1 and 2 both step to 0 and meet at t=1
 	// with probability 1, so ŝ(1,2) = C exactly.
 	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}})
-	e, _ := New(g, 0.8, 0, 7)
+	e, _ := NewIndex(g, 0.8, 0, 100, 7)
 	if got := e.Pair(1, 2, 100); math.Abs(got-0.8) > 1e-12 {
 		t.Fatalf("s(1,2) = %v, want 0.8", got)
 	}
@@ -65,7 +71,7 @@ func TestPairMatchesDeterministicWithinCI(t *testing.T) {
 	}
 	c := 0.6
 	exact := batch.JehWidom(g, c, 40)
-	e, _ := New(g, c, 40, 99)
+	e, _ := NewIndex(g, c, 40, 4000, 99)
 	const walks = 4000
 	checked := 0
 	for a := 0; a < 12 && checked < 8; a++ {
@@ -88,7 +94,7 @@ func TestPairMatchesDeterministicWithinCI(t *testing.T) {
 
 func TestPairStderrShrinksWithWalks(t *testing.T) {
 	g := gen.PrefAttach(60, 4, 5)
-	e, _ := New(g, 0.6, 0, 11)
+	e, _ := NewIndex(g, 0.6, 0, 5000, 11)
 	_, se1 := e.PairStderr(10, 11, 200)
 	_, se2 := e.PairStderr(10, 11, 5000)
 	if se2 > se1 && se1 > 0 {
@@ -98,7 +104,7 @@ func TestPairStderrShrinksWithWalks(t *testing.T) {
 
 func TestSingleSource(t *testing.T) {
 	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}})
-	e, _ := New(g, 0.8, 0, 3)
+	e, _ := NewIndex(g, 0.8, 0, 200, 3)
 	scores := e.SingleSource(1, 200)
 	if len(scores) != 4 {
 		t.Fatalf("len = %d", len(scores))
@@ -117,7 +123,7 @@ func TestTopK(t *testing.T) {
 	g := graph.FromEdges(5, []graph.Edge{
 		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}, {From: 4, To: 0},
 	})
-	e, _ := New(g, 0.8, 0, 9)
+	e, _ := NewIndex(g, 0.8, 0, 800, 9)
 	top := e.TopK(1, 2, 200, 4)
 	if len(top) != 2 {
 		t.Fatalf("TopK len = %d", len(top))
@@ -134,7 +140,7 @@ func TestTopK(t *testing.T) {
 
 func TestTopKSmallGraph(t *testing.T) {
 	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
-	e, _ := New(g, 0.6, 0, 2)
+	e, _ := NewIndex(g, 0.6, 0, 50, 2)
 	if top := e.TopK(0, 5, 50, 1); len(top) > 1 {
 		t.Fatalf("TopK on 2-node graph returned %d results", len(top))
 	}
@@ -142,7 +148,7 @@ func TestTopKSmallGraph(t *testing.T) {
 
 func TestPairPanicsOnBadWalks(t *testing.T) {
 	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
-	e, _ := New(g, 0.6, 0, 2)
+	e, _ := NewIndex(g, 0.6, 0, 10, 2)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("want panic")
@@ -153,20 +159,20 @@ func TestPairPanicsOnBadWalks(t *testing.T) {
 
 func TestDeterministicGivenSeed(t *testing.T) {
 	g := gen.PrefAttach(40, 3, 8)
-	e1, _ := New(g, 0.6, 0, 42)
-	e2, _ := New(g, 0.6, 0, 42)
+	e1, _ := NewIndex(g, 0.6, 0, 500, 42)
+	e2, _ := NewIndex(g, 0.6, 0, 500, 42)
 	if e1.Pair(5, 7, 500) != e2.Pair(5, 7, 500) {
 		t.Fatal("same seed must reproduce the estimate")
 	}
 }
 
-// One Estimator queried from many goroutines must be race-free: the
-// walks share a single seeded source, which is now serialized by a
-// locking wrapper. Run under -race (CI does) — before the guard this
-// test was a reliable data-race report on e.rng.
-func TestEstimatorConcurrentQueries(t *testing.T) {
+// One Index queried from many goroutines must be race-free: queries are
+// pure reads of the stored walks — no RNG, no lock, nothing shared but
+// immutable data. Run under -race (CI does); before the stored-walk
+// design this was a reliable data-race report on a shared rand source.
+func TestIndexConcurrentQueries(t *testing.T) {
 	g := lineGraphForRace()
-	est, err := New(g, 0.6, 0, 99)
+	est, err := NewIndex(g, 0.6, 0, 20, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,12 +206,12 @@ func lineGraphForRace() *graph.DiGraph {
 	return g
 }
 
-// The locked source must not change what sequential callers observe:
-// same seed, same estimates, before and after the concurrency guard.
-func TestEstimatorSequentialDeterminism(t *testing.T) {
+// Pure-read queries must stay deterministic across repeated sequential
+// runs: same seed, same stored walks, same estimates.
+func TestSequentialDeterminism(t *testing.T) {
 	g := lineGraphForRace()
 	run := func() []float64 {
-		est, err := New(g, 0.6, 0, 7)
+		est, err := NewIndex(g, 0.6, 0, 50, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,11 +229,11 @@ func TestEstimatorSequentialDeterminism(t *testing.T) {
 	}
 }
 
-// Zero or negative walk counts must fail loudly in both estimators
-// instead of dividing by zero into a silent NaN.
+// Zero or negative walk counts must fail loudly instead of dividing by
+// zero into a silent NaN.
 func TestNonPositiveWalksPanic(t *testing.T) {
 	g := lineGraphForRace()
-	est, err := New(g, 0.6, 0, 1)
+	est, err := NewIndex(g, 0.6, 0, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,4 +252,211 @@ func TestNonPositiveWalksPanic(t *testing.T) {
 			f()
 		}()
 	}
+}
+
+// --- incremental repair ---
+
+// requireRowsEqual asserts two same-shape indexes store bit-identical
+// walk positions — the repair ≡ rebuild invariant at its rawest.
+func requireRowsEqual(t *testing.T, got, want *Index, label string) {
+	t.Helper()
+	if got.n != want.n {
+		t.Fatalf("%s: n = %d vs %d", label, got.n, want.n)
+	}
+	for u := 0; u < want.n; u++ {
+		gr, wr := got.rows[u], want.rows[u]
+		if len(gr) != len(wr) {
+			t.Fatalf("%s: node %d row length %d vs %d", label, u, len(gr), len(wr))
+		}
+		for i := range wr {
+			if gr[i] != wr[i] {
+				t.Fatalf("%s: node %d position %d: %d vs %d", label, u, i, gr[i], wr[i])
+			}
+		}
+	}
+}
+
+// randomStream drives a mixed insert/delete stream through ix.Apply,
+// mirroring the topology in g, and returns the number of effective
+// updates.
+func randomStream(t *testing.T, ix *Index, g *graph.DiGraph, rng *rand.Rand, steps int) int {
+	t.Helper()
+	applied := 0
+	for s := 0; s < steps; s++ {
+		n := g.N()
+		from, to := rng.Intn(n), rng.Intn(n)
+		up := graph.Update{Edge: graph.Edge{From: from, To: to}, Insert: !g.HasEdge(from, to)}
+		g.Apply(up)
+		if _, changed := ix.Apply(up); !changed {
+			t.Fatalf("step %d: update %+v reported no change", s, up)
+		}
+		applied++
+	}
+	return applied
+}
+
+// The tentpole invariant: a stream of incremental repairs lands on the
+// exact walk set a fresh rebuild at the same seed produces on the final
+// graph — bit-identical positions, not just close estimates.
+func TestRepairMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := gen.PrefAttach(30, 3, 5)
+	ix, err := NewIndex(g, 0.6, 8, 16, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomStream(t, ix, g, rng, 120)
+	fresh, err := NewIndex(g, 0.6, 8, 16, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRowsEqual(t, ix, fresh, "after 120 mixed updates")
+	if repaired, steps := ix.RepairStats(); repaired == 0 || steps == 0 {
+		t.Fatal("repairs ran but counters stayed zero")
+	}
+	if ix.Gen() != 120 {
+		t.Fatalf("repair generation = %d, want 120", ix.Gen())
+	}
+}
+
+// Inserting a present edge / deleting an absent one must be a no-op
+// that reports changed=false and touches nothing.
+func TestApplyNoopUpdates(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}})
+	ix, _ := NewIndex(g, 0.6, 5, 8, 3)
+	before := ix.Gen()
+	if dirty, changed := ix.Apply(graph.Update{Edge: graph.Edge{From: 0, To: 1}, Insert: true}); changed || dirty != nil {
+		t.Fatalf("duplicate insert: dirty=%v changed=%v", dirty, changed)
+	}
+	if dirty, changed := ix.Apply(graph.Update{Edge: graph.Edge{From: 2, To: 3}, Insert: false}); changed || dirty != nil {
+		t.Fatalf("absent delete: dirty=%v changed=%v", dirty, changed)
+	}
+	if ix.Gen() != before {
+		t.Fatal("no-op updates must not advance the repair generation")
+	}
+}
+
+// Dirty rows must name exactly the owners of changed walks: sorted,
+// unique, and consistent with a before/after row diff.
+func TestApplyDirtyRowsMatchChangedRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := gen.PrefAttach(25, 3, 9)
+	ix, _ := NewIndex(g, 0.6, 7, 12, 13)
+	for s := 0; s < 40; s++ {
+		n := g.N()
+		from, to := rng.Intn(n), rng.Intn(n)
+		up := graph.Update{Edge: graph.Edge{From: from, To: to}, Insert: !g.HasEdge(from, to)}
+		before := ix.Clone()
+		g.Apply(up)
+		dirty, _ := ix.Apply(up)
+		for i := 1; i < len(dirty); i++ {
+			if dirty[i-1] >= dirty[i] {
+				t.Fatalf("dirty rows not sorted/unique: %v", dirty)
+			}
+		}
+		isDirty := make(map[int]bool, len(dirty))
+		for _, u := range dirty {
+			isDirty[u] = true
+		}
+		for u := 0; u < ix.n; u++ {
+			changed := false
+			for i, v := range ix.rows[u] {
+				if before.rows[u][i] != v {
+					changed = true
+					break
+				}
+			}
+			if changed != isDirty[u] {
+				t.Fatalf("step %d node %d: row changed=%v but dirty=%v (dirty set %v)", s, u, changed, isDirty[u], dirty)
+			}
+		}
+	}
+}
+
+// Hammering one high-traffic node must trigger postings compaction and
+// keep the live/total accounting consistent with a from-scratch recount.
+func TestPostingsCompaction(t *testing.T) {
+	g := gen.PrefAttach(20, 4, 2)
+	ix, _ := NewIndex(g, 0.6, 6, 10, 5)
+	rng := rand.New(rand.NewSource(31))
+	for s := 0; s < 400; s++ {
+		from, to := rng.Intn(20), rng.Intn(20)
+		up := graph.Update{Edge: graph.Edge{From: from, To: to}, Insert: !g.HasEdge(from, to)}
+		g.Apply(up)
+		ix.Apply(up)
+		if ix.total > 2*ix.live+ix.n {
+			t.Fatalf("step %d: compaction threshold violated (total=%d live=%d)", s, ix.total, ix.live)
+		}
+	}
+	// live must equal the number of alive positions at steps 1..L-1.
+	want := 0
+	stride := ix.stride()
+	for u := 0; u < ix.n; u++ {
+		for w := 0; w < ix.walks; w++ {
+			for st := 1; st < ix.walkLen; st++ {
+				if ix.rows[u][w*stride+st] >= 0 {
+					want++
+				}
+			}
+		}
+	}
+	if ix.live != want {
+		t.Fatalf("live = %d, recount = %d", ix.live, want)
+	}
+	fresh, _ := NewIndex(g, 0.6, 6, 10, 5)
+	requireRowsEqual(t, ix, fresh, "after compaction-heavy stream")
+}
+
+// AddNodes must grow the index exactly as a fresh rebuild over the
+// grown graph would, including when edges then arrive at the new ids.
+func TestAddNodesMatchesRebuild(t *testing.T) {
+	g := gen.PrefAttach(15, 3, 4)
+	ix, _ := NewIndex(g, 0.6, 6, 8, 21)
+	g.AddNodes(5)
+	ix.AddNodes(5)
+	for i := 0; i < 5; i++ {
+		up := graph.Update{Edge: graph.Edge{From: i, To: 15 + i}, Insert: true}
+		g.Apply(up)
+		ix.Apply(up)
+	}
+	fresh, _ := NewIndex(g, 0.6, 6, 8, 21)
+	requireRowsEqual(t, ix, fresh, "after AddNodes + edges to new ids")
+}
+
+// A sealed view must keep serving its frozen walk set while the writer
+// repairs — per-node copy-on-write, verified by value.
+func TestSealIsolatesRepairs(t *testing.T) {
+	g := gen.PrefAttach(20, 3, 6)
+	ix, _ := NewIndex(g, 0.6, 6, 16, 9)
+	view := ix.Seal()
+	if !view.Sealed() {
+		t.Fatal("Seal must mark the view sealed")
+	}
+	frozen := make(map[int]float64)
+	for a := 0; a < 20; a++ {
+		frozen[a] = view.Pair(a, (a+7)%20, 16)
+	}
+	rng := rand.New(rand.NewSource(41))
+	randomStream(t, ix, g, rng, 60)
+	for a := 0; a < 20; a++ {
+		if got := view.Pair(a, (a+7)%20, 16); got != frozen[a] {
+			t.Fatalf("sealed view drifted at pair (%d,%d): %v vs %v", a, (a+7)%20, got, frozen[a])
+		}
+	}
+	// And the writer still agrees with a fresh rebuild.
+	fresh, _ := NewIndex(g, 0.6, 6, 16, 9)
+	requireRowsEqual(t, ix, fresh, "writer after seal + stream")
+}
+
+// Reset (the Recompute path) must land on the same pure function of
+// (graph, seed) that repairs reach.
+func TestResetMatchesRepairs(t *testing.T) {
+	g := gen.PrefAttach(18, 3, 3)
+	ix, _ := NewIndex(g, 0.6, 6, 8, 33)
+	other := ix.Clone()
+	rng := rand.New(rand.NewSource(51))
+	gg := g.Clone()
+	randomStream(t, ix, gg, rng, 50)
+	other.Reset(gg)
+	requireRowsEqual(t, other, ix, "Reset vs repair stream")
 }

@@ -146,10 +146,6 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // and answers 200 (or 409 if the engine rejected the update, e.g. an
 // insert of an edge that already exists).
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
-	if err := s.checkWritable(); err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
-	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		status := http.StatusBadRequest
@@ -182,7 +178,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			status := http.StatusInternalServerError
 			var bad *core.ErrBadUpdate
-			if errors.As(err, &bad) || errors.Is(err, simrank.ErrReadOnlyBackend) {
+			if errors.As(err, &bad) {
 				status = http.StatusConflict
 			}
 			writeError(w, status, err)
@@ -215,10 +211,6 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 // before this call may still be rejected. The supported pattern is the
 // other direction — POST /nodes, then write to the returned ids.
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
-	if err := s.checkWritable(); err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
-	}
 	var req NodesRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)

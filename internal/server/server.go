@@ -250,6 +250,9 @@ func (s *Server) Stats() StatsResponse {
 		CacheEvictions:       cs.Evictions,
 		CachedRows:           cs.Rows,
 
+		WalksRepaired:        vi.WalksRepaired,
+		WalkResampleFraction: vi.WalkResampleFraction,
+
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	if w := s.cfg.WAL; w != nil {
@@ -268,18 +271,6 @@ func (s *Server) Stats() StatsResponse {
 func (s *Server) checkNode(name string, v int) error {
 	if n := s.eng.N(); v < 0 || v >= n {
 		return fmt.Errorf("%s=%d out of range [0,%d)", name, v, n)
-	}
-	return nil
-}
-
-// checkWritable rejects write endpoints up front on read-only backends,
-// so an approx-tier deployment answers a clean 409 instead of accepting
-// into the pipeline what the engine will certainly refuse. (The engine
-// still rejects with ErrReadOnlyBackend if a write slips through — a
-// defense in depth, not the serving path.)
-func (s *Server) checkWritable() error {
-	if s.eng.Backend() == simrank.BackendApprox {
-		return fmt.Errorf("%w: the approx tier serves queries only (rebuild the engine to change the graph)", simrank.ErrReadOnlyBackend)
 	}
 	return nil
 }

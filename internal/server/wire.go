@@ -172,6 +172,15 @@ type StatsResponse struct {
 	CacheEvictions       int64 `json:"cache_evictions"`
 	CachedRows           int   `json:"cached_rows"`
 
+	// Approx-tier repair gauges (zero on the exact backends):
+	// WalksRepaired is the cumulative count of stored walks whose suffix
+	// was resampled by incremental repair; WalkResampleFraction is that
+	// work divided by what full per-update rebuilds would have resampled
+	// — the affected-area win, ≈ the mean walk-visit probability of the
+	// updated nodes.
+	WalksRepaired        uint64  `json:"walks_repaired"`
+	WalkResampleFraction float64 `json:"walk_resample_fraction"`
+
 	// Write-ahead-log gauges, populated only when the process runs with
 	// -wal-dir (WALEnabled says so; the others are zero otherwise).
 	// WALEpoch is the newest logged record's epoch — it tracks the view

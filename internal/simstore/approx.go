@@ -9,104 +9,177 @@ import (
 	"repro/internal/montecarlo"
 )
 
-// Approx is the sampling tier: no materialized S at all. Queries are
-// answered by coalescing reverse random walks over a shared reusable
-// walk index (montecarlo.Index, O(n + m) memory, built once and shared
-// by every estimator and clone), with per-answer standard errors
-// available through the Sampler interface. This is the backend for
-// graphs where O(n²) exact storage is infeasible — the paper's own
-// fallback regime for large n.
+// Approx is the sampling tier: no materialized S at all. Queries read a
+// stored-walk index (montecarlo.Index) of W truncated reverse walks per
+// node — O(n·(W·L + d)) memory, still far below the exact tiers' Θ(n²)
+// — and score a pair by the first-meeting-time estimator, with
+// per-answer standard errors through the Sampler interface.
 //
-// The store is read-only: the exact incremental-update machinery has no
-// matrix to fold deltas into, so every mutation panics (the engine
-// rejects writes with ErrReadOnly long before reaching the store).
+// The store is *writable through the graph*: ApplyUpdate mutates one
+// in-neighbor list and repairs exactly the walk suffixes the change
+// invalidates (the paper's affected-area idea applied to the walk
+// index), and AddNodes grows the index by isolated nodes. Because every
+// walk position derives from a pure (seed, node, walk, step) hash, the
+// repaired index is bit-identical to a fresh rebuild over the updated
+// graph — determinism, WAL-replay equivalence and snapshot round-trips
+// all reduce to that one invariant.
+//
+// What stays unsupported are the *exact write-backs* Set/Add/AddSym/
+// UpperRow: there is no matrix cell for an Inc-SR delta to land in, so
+// the engine routes approx writes through ApplyUpdate instead of the
+// incremental core, and those methods panic if reached.
 //
 // Scores are the *iterative-form* SimRank estimates (s(a,a) = 1) the
 // estimator targets, truncated at walkLen steps — pick walkLen = K to
 // mirror an exact engine's K-iteration truncation.
 type Approx struct {
 	idx   *montecarlo.Index
-	est   *montecarlo.Estimator
 	walks int
 	seed  int64
 	// refineFactor multiplies the walk budget on the provisional top-2k
 	// candidates of a TopKRow query.
 	refineFactor int
+	sealed       bool
 }
 
 // DefaultRefineFactor is the top-k refinement multiplier (see
-// montecarlo.Estimator.TopK).
+// montecarlo.Index.TopK).
 const DefaultRefineFactor = 4
 
 // MaxWalks bounds the per-pair walk budget everywhere it is accepted —
 // engine options, store construction and snapshot restore share this
 // one constant, so a budget a running engine accepts is always a budget
 // its snapshot can restore (and it fits a snapshot's uint32 field).
+// With stored walks the budget is also the per-node memory multiplier
+// (W·(L+1) int32 positions per node), so large budgets are priced in
+// RAM, not per-query CPU.
 const MaxWalks = 1 << 20
 
 // NewApprox builds a sampling store over g's current topology: c is the
 // damping factor, walkLen the walk cap (use the exact engines' K),
-// walks the per-pair walk budget, seed the deterministic RNG seed.
+// walks the per-pair walk budget, seed the derived-seed root. All W
+// walks per node are sampled and stored up front.
 func NewApprox(g *graph.DiGraph, c float64, walkLen, walks int, seed int64) (*Approx, error) {
 	if walks <= 0 || walks > MaxWalks {
 		return nil, fmt.Errorf("simstore: approx walk budget %d outside (0, %d]", walks, MaxWalks)
 	}
-	idx := montecarlo.NewIndex(g)
-	est, err := idx.NewEstimator(c, walkLen, seed)
+	idx, err := montecarlo.NewIndex(g, c, walkLen, walks, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Approx{idx: idx, est: est, walks: walks, seed: seed, refineFactor: DefaultRefineFactor}, nil
+	return &Approx{idx: idx, walks: walks, seed: seed, refineFactor: DefaultRefineFactor}, nil
 }
 
 // Walks returns the per-pair walk budget (persisted in snapshots).
 func (a *Approx) Walks() int { return a.walks }
 
-// Seed returns the RNG seed the estimator was built with (persisted in
-// snapshots; a restored store replays the same walk sequence from the
-// start).
+// Seed returns the derived-seed root the walks are positioned with
+// (persisted in snapshots; a restored store reproduces the exact same
+// walk set from the graph).
 func (a *Approx) Seed() int64 { return a.seed }
 
-// Estimator exposes the underlying estimator (tests, diagnostics).
-func (a *Approx) Estimator() *montecarlo.Estimator { return a.est }
+// Index exposes the underlying walk index (tests, diagnostics).
+func (a *Approx) Index() *montecarlo.Index { return a.idx }
 
 // N returns the node count.
 func (a *Approx) N() int { return a.idx.N() }
 
-// Seal returns the receiver: the sampling store is already immutable
-// (its estimator's RNG is internally locked), so every epoch's view is
-// the store itself.
-func (a *Approx) Seal() Store { return a }
-
-// Writable reports false: the sampling tier rejects all mutation.
-func (a *Approx) Writable() bool { return false }
-
-// MarkRowsDirty is a no-op: nothing is ever written.
-func (a *Approx) MarkRowsDirty([]int) {}
-
-// At estimates s(i, j) with the store's walk budget. Safe for
-// concurrent readers (the estimator's RNG is locked); deterministic only
-// under a sequential fixed-seed run.
-func (a *Approx) At(i, j int) float64 { return a.est.Pair(i, j, a.walks) }
-
-func (a *Approx) readOnly() string {
-	return "simstore: " + ErrReadOnly.Error() + " (engine guards must reject writes first)"
+// ApplyUpdate mutates the graph topology inside the walk index and
+// repairs the invalidated walk suffixes. It returns the ascending list
+// of nodes whose stored walks changed — the engine's DirtyRows set for
+// this update. Single-writer path.
+func (a *Approx) ApplyUpdate(up graph.Update) []int {
+	a.ensureWritable()
+	dirty, _ := a.idx.Apply(up)
+	return dirty
 }
 
-// Set panics: the sampling tier is read-only.
-func (a *Approx) Set(i, j int, v float64) { panic(a.readOnly()) }
+// Recompute rebuilds the whole walk set from g — the full-resample path
+// behind Engine.Recompute. Equivalent in outcome to any sequence of
+// repairs reaching the same topology (both equal the pure function of
+// (graph, seed)), so it exists for cost, not correctness: once an
+// update batch is large enough that most walks are affected anyway,
+// one O(n·W·L) resample beats per-edge repair.
+func (a *Approx) Recompute(g *graph.DiGraph) {
+	a.ensureWritable()
+	a.idx.Reset(g)
+}
 
-// Add panics: the sampling tier is read-only.
-func (a *Approx) Add(i, j int, v float64) { panic(a.readOnly()) }
+// RepairGen returns the repair-generation counter (persisted in
+// snapshots).
+func (a *Approx) RepairGen() uint64 { return a.idx.Gen() }
 
-// AddSym panics: the sampling tier is read-only.
-func (a *Approx) AddSym(i, j int, v float64) { panic(a.readOnly()) }
+// SetRepairGen restores the repair-generation counter from a snapshot.
+func (a *Approx) SetRepairGen(gen uint64) { a.idx.SetGen(gen) }
 
-// Row estimates the full row s(i, ·) — O(n·walks·walkLen) walk steps —
-// into a fresh slice.
-func (a *Approx) Row(i int) []float64 { return a.est.SingleSource(i, a.walks) }
+// RepairStats returns cumulative repair work: walks whose suffix was
+// resampled and individual walk steps resampled (process counters, not
+// persisted).
+func (a *Approx) RepairStats() (walksRepaired, stepsResampled uint64) {
+	return a.idx.RepairStats()
+}
 
-// ConcurrentRow is Row: every call samples into its own slice.
+// ResampleFraction is walksRepaired over the total walk-resample work a
+// full rebuild per repaired update would have cost (gen·n·W) — the
+// /stats figure quantifying the affected-area win; 0 before any repair.
+func (a *Approx) ResampleFraction() float64 {
+	repaired, _ := a.idx.RepairStats()
+	gen := a.idx.Gen()
+	if gen == 0 {
+		return 0
+	}
+	return float64(repaired) / (float64(gen) * float64(a.idx.N()) * float64(a.walks))
+}
+
+// Seal returns an immutable point-in-time view of the walk set (O(n)
+// pointer copies; the writer copy-on-writes a node's walks before its
+// next repair of them). Queries on a sealed view are pure reads of
+// frozen positions — no RNG, no lock, bit-stable forever.
+func (a *Approx) Seal() Store {
+	if a.sealed {
+		return a
+	}
+	return &Approx{idx: a.idx.Seal(), walks: a.walks, seed: a.seed, refineFactor: a.refineFactor, sealed: true}
+}
+
+// Writable reports whether the receiver is the writer instance (true)
+// or a sealed view (false).
+func (a *Approx) Writable() bool { return !a.sealed }
+
+// MarkRowsDirty is a no-op: the walk index tracks its own copy-on-write
+// sharing per node.
+func (a *Approx) MarkRowsDirty([]int) {}
+
+// At estimates s(i, j) with the store's walk budget. A deterministic
+// pure read of the stored walks — safe for any number of concurrent
+// readers with no serialization.
+func (a *Approx) At(i, j int) float64 { return a.idx.Pair(i, j, a.walks) }
+
+func (a *Approx) ensureWritable() {
+	if a.sealed {
+		panic("simstore: mutation on a sealed approx view")
+	}
+}
+
+func (a *Approx) noExactWrites() string {
+	return "simstore: approx backend has no matrix cells for exact write-backs (route updates through ApplyUpdate)"
+}
+
+// Set panics: the sampling tier has no matrix cell to write.
+func (a *Approx) Set(i, j int, v float64) { panic(a.noExactWrites()) }
+
+// Add panics: the sampling tier has no matrix cell to accumulate into.
+func (a *Approx) Add(i, j int, v float64) { panic(a.noExactWrites()) }
+
+// AddSym panics: the sampling tier has no matrix cells for the
+// symmetric write-back shape.
+func (a *Approx) AddSym(i, j int, v float64) { panic(a.noExactWrites()) }
+
+// Row estimates the full row s(i, ·) — O(n·walks·walkLen) position
+// reads — into a fresh slice.
+func (a *Approx) Row(i int) []float64 { return a.idx.SingleSource(i, a.walks) }
+
+// ConcurrentRow is Row: every call estimates into its own slice.
 func (a *Approx) ConcurrentRow(i int) []float64 { return a.Row(i) }
 
 // UpperRow panics: a global O(n²) scan is exactly what the sampling tier
@@ -118,29 +191,45 @@ func (a *Approx) UpperRow(int) []float64 {
 // ColInto estimates column j (= row j by symmetry) into dst.
 func (a *Approx) ColInto(dst []float64, j int) { copy(dst, a.Row(j)) }
 
-// Clone returns the store itself: the index is immutable and the
-// estimator is safe for concurrent use, so there is nothing to copy.
-func (a *Approx) Clone() Store { return a }
+// Clone returns an independent deep copy of the walk index, so a cloned
+// engine can absorb updates without affecting the original.
+func (a *Approx) Clone() Store {
+	return &Approx{idx: a.idx.Clone(), walks: a.walks, seed: a.seed, refineFactor: a.refineFactor, sealed: a.sealed}
+}
 
 // ToDense returns nil: materializing n² estimates is the workload this
 // backend exists to refuse.
 func (a *Approx) ToDense() *matrix.Dense { return nil }
 
-// AddNodes panics: the sampling tier is read-only (rebuild the store
-// over the grown graph instead).
-func (a *Approx) AddNodes(count int, diag float64) Store { panic(a.readOnly()) }
+// AddNodes grows the walk index by count isolated nodes. diag is
+// ignored — the estimator scores s(v, v) = 1 by definition, and an
+// isolated node's walks die at home, exactly what a fresh rebuild over
+// the grown graph samples.
+func (a *Approx) AddNodes(count int, diag float64) Store {
+	a.ensureWritable()
+	a.idx.AddNodes(count)
+	return a
+}
 
-// MemBytes reports the shared walk index's O(n + m) footprint.
+// MemBytes reports the walk index's O(n·(W·L + d)) footprint: stored
+// walk positions plus (writer only) in-neighbor lists and repair
+// postings. Sealed views count just the walk payload they serve.
 func (a *Approx) MemBytes() int64 { return a.idx.MemBytes() }
 
 // Backend names the implementation.
 func (a *Approx) Backend() Backend { return BackendApprox }
 
 // TopKRow estimates the k nodes most similar to node q via the two-pass
-// refinement of montecarlo.Estimator.TopK, mapped to the engine's Pair
-// shape.
+// refinement of montecarlo.Index.TopK: a cheap scan with a 1/refine
+// fraction of the stored walks, then the provisional top 2k re-scored
+// with the full budget. Deterministic — both passes read stored
+// positions.
 func (a *Approx) TopKRow(q, k int) []metrics.Pair {
-	scored := a.est.TopK(q, k, a.walks, a.refineFactor)
+	// Ceiling division so the refinement budget short·refineFactor is ≥
+	// walks — Pair clamps it back to exactly the stored W, making
+	// refined scores identical to At(q, ·).
+	short := (a.walks + a.refineFactor - 1) / a.refineFactor
+	scored := a.idx.TopK(q, k, short, a.refineFactor)
 	out := make([]metrics.Pair, 0, len(scored))
 	for _, s := range scored {
 		// The refinement pass re-estimates each provisional candidate and
@@ -156,5 +245,5 @@ func (a *Approx) TopKRow(q, k int) []metrics.Pair {
 
 // PairStderr estimates s(a, b) together with its standard error.
 func (a *Approx) PairStderr(i, j int) (est, stderr float64) {
-	return a.est.PairStderr(i, j, a.walks)
+	return a.idx.PairStderr(i, j, a.walks)
 }

@@ -281,8 +281,10 @@ func TestPackedChunkLayout(t *testing.T) {
 	}
 }
 
-// The approx store seals to itself.
-func TestApproxSealsForFree(t *testing.T) {
+// Approx sealing: the writer stays writable, the view is immutable and
+// keeps serving its frozen walk set while the writer repairs past it
+// (per-node copy-on-write on the walk rows).
+func TestApproxSealedViewSurvivesRepairs(t *testing.T) {
 	g := graph.New(4)
 	g.AddEdge(0, 1)
 	g.AddEdge(2, 1)
@@ -290,11 +292,35 @@ func TestApproxSealsForFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := a.Seal(); v != Store(a) {
-		t.Fatal("approx Seal did not return the receiver")
+	v := a.Seal()
+	if v == Store(a) {
+		t.Fatal("approx Seal must return a distinct sealed view, not the writer")
 	}
-	if a.Writable() {
-		t.Fatal("approx reports Writable")
+	if v.Writable() {
+		t.Fatal("sealed view reports Writable")
+	}
+	if !a.Writable() {
+		t.Fatal("writer must stay writable after Seal")
+	}
+	if v.Seal() != v {
+		t.Fatal("sealing a sealed view must return the receiver")
 	}
 	a.MarkRowsDirty([]int{1}) // must be a harmless no-op
+	frozen := v.At(1, 3)
+	up := graph.Update{Edge: graph.Edge{From: 0, To: 3}, Insert: true}
+	g.Apply(up)
+	a.ApplyUpdate(up)
+	if got := v.At(1, 3); got != frozen {
+		t.Fatalf("sealed view drifted under repair: %v vs %v", got, frozen)
+	}
+	if a.At(1, 3) <= 0 {
+		t.Fatal("writer should now score s(1,3) > 0 (common parent 0)")
+	}
+	// Mutating a sealed view must fail loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ApplyUpdate on a sealed view did not panic")
+		}
+	}()
+	v.(*Approx).ApplyUpdate(graph.Update{Edge: graph.Edge{From: 1, To: 2}, Insert: true})
 }

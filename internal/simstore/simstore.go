@@ -11,14 +11,17 @@
 //     exact incremental-update machinery (every write flows through the
 //     symmetric AddSym, landing on one backing cell);
 //   - approx: no materialized S at all — a Monte-Carlo sampling tier
-//     over a shared reusable walk index (internal/montecarlo), O(n + m)
-//     memory, answering queries by coalescing reverse random walks with
-//     a reported standard error. The exact-update machinery is bypassed:
-//     the backend is read-only (see ErrReadOnly).
+//     over a stored-walk index (internal/montecarlo), O(n·(W·L + d))
+//     memory, answering queries by reading the meeting points of stored
+//     coalescing reverse walks with a reported standard error. Writable
+//     through the graph: an edge update repairs exactly the invalidated
+//     walk suffixes (ApplyUpdate), bit-identical to a fresh rebuild at
+//     the same seed.
 //
 // The exact stores (dense, packed) satisfy internal/core.SimStore, so
-// Inc-SR/Inc-uSR run unmodified against either; the approx store panics
-// on mutation, which the engine guards long before.
+// Inc-SR/Inc-uSR run unmodified against either; the approx store has no
+// matrix cells for those exact write-backs (Set/Add/AddSym panic), so
+// the engine routes its writes through ApplyUpdate instead.
 package simstore
 
 import (
@@ -37,8 +40,8 @@ const (
 	BackendDense Backend = "dense"
 	// BackendPacked is the symmetric upper-triangular store (≈4n² bytes).
 	BackendPacked Backend = "packed"
-	// BackendApprox is the Monte-Carlo sampling tier (O(n+m) bytes,
-	// read-only).
+	// BackendApprox is the Monte-Carlo stored-walk sampling tier
+	// (O(n·(W·L+d)) bytes, writable via incremental walk repair).
 	BackendApprox Backend = "approx"
 )
 
@@ -55,10 +58,6 @@ func ParseBackend(s string) (Backend, error) {
 	}
 	return "", fmt.Errorf("simstore: unknown backend %q (want dense, packed or approx)", s)
 }
-
-// ErrReadOnly is returned (wrapped) by every mutation attempted on the
-// approx backend: the sampling tier has no materialized S to update.
-var ErrReadOnly = errors.New("approx backend is read-only")
 
 // Store is a similarity matrix S behind an interface, so the engine, the
 // batch kernel, snapshots and the HTTP server are all backend-agnostic.
@@ -86,8 +85,9 @@ var ErrReadOnly = errors.New("approx backend is read-only")
 //   - packed copy-on-writes its triangle in row-aligned chunks: sealed
 //     views share every chunk, and the writer duplicates a chunk the
 //     first time it lands a write in it after a Seal;
-//   - approx is already immutable and seals for free (Seal returns the
-//     receiver).
+//   - approx copy-on-writes per node: a sealed view shares every node's
+//     stored walks, and the writer clones one node's walk row the first
+//     time a repair touches it after a Seal.
 //
 // Writers that mutate a sealable store outside the incremental core must
 // report every row of S they wrote via MarkRowsDirty before the next
@@ -101,7 +101,7 @@ type Store interface {
 	// N returns the node count.
 	N() int
 	// At returns s(i, j). On the approx backend this is a sampling
-	// estimate (deterministic only under a sequential, fixed-seed run).
+	// estimate — a deterministic pure read of the stored walks.
 	At(i, j int) float64
 	// Set writes entry (i, j); symmetric layouts alias the mirror entry.
 	Set(i, j int, v float64)
@@ -125,14 +125,15 @@ type Store interface {
 	// ColInto copies column j into dst (single-writer path; symmetric
 	// layouts serve it from row storage).
 	ColInto(dst []float64, j int)
-	// Clone returns an independent deep copy (the immutable approx store
-	// returns itself).
+	// Clone returns an independent deep copy.
 	Clone() Store
 	// ToDense materializes the full matrix, or nil when that is the
 	// point of the backend not to (approx).
 	ToDense() *matrix.Dense
 	// AddNodes returns a store over n+count nodes: old scores preserved,
-	// new rows zero except s(v, v) = diag. Panics on the approx backend.
+	// new rows zero except s(v, v) = diag (the approx backend grows its
+	// walk index in place — diag is implicit, s(v,v) = 1 by definition —
+	// and returns the receiver).
 	AddNodes(count int, diag float64) Store
 	// MemBytes reports the store's resident size in bytes — the
 	// /stats "store_bytes" figure. The serving payload only: the dense
@@ -152,12 +153,12 @@ type Store interface {
 	// Packed and approx views are intrinsically safe at any age.
 	Seal() Store
 	// Writable reports whether the receiver accepts mutation: false for
-	// sealed views and for the read-only approx backend.
+	// sealed views.
 	Writable() bool
 	// MarkRowsDirty reports rows of S written since the last Seal (or
 	// the last MarkRowsDirty call) — the dense double-buffer's re-sync
-	// set. No-op on backends that track sharing themselves (packed) or
-	// never mutate (approx), and on stores never sealed.
+	// set. No-op on backends that track sharing themselves (packed,
+	// approx), and on stores never sealed.
 	MarkRowsDirty(rows []int)
 }
 

@@ -115,6 +115,19 @@ func runRandomStream(t *testing.T, rng *rand.Rand, opts Options) {
 		t.Fatalf("graph diverged from model: engine %d/%d, model %d/%d (trace %v)",
 			eng.N(), eng.M(), model.n, len(model.edgeList()), trace)
 	}
+	if opts.Backend == BackendApprox {
+		// No materialized matrix on the sampling tier — and no tolerance
+		// either: walk repair must land on the exact index a fresh build
+		// at the same seed produces, so every pair compares bit-equal.
+		for a := 0; a < model.n; a++ {
+			for b := 0; b < model.n; b++ {
+				if got, want := eng.Similarity(a, b), fresh.Similarity(a, b); got != want {
+					t.Fatalf("repaired s(%d,%d) = %v, fresh %v (trace %v)", a, b, got, want, trace)
+				}
+			}
+		}
+		return
+	}
 	if d := matrix.MaxAbsDiff(eng.Similarities(), fresh.Similarities()); d > 1e-12 {
 		t.Fatalf("incremental stream drifted %g from fresh engine (n=%d, trace %v)", d, model.n, trace)
 	}

@@ -50,13 +50,28 @@ import (
 //	backend u32 | epoch u64 | n u32 | m u32 | m × (from u32, to u32) |
 //	payload | crc32(IEEE)
 //
+// Version 4 — written only for the approx backend, now that it absorbs
+// updates by incremental walk repair: the payload gains the repair
+// -generation counter after the seed. The walks themselves are a pure
+// function of (graph, seed, walks, K) — the derived-seed invariant — so
+// the repaired walk set is persisted *by persisting the graph*: restore
+// rebuilds walks bit-identical to the writer's repaired state, and only
+// the generation counter needs carrying. Dense and packed keep writing
+// v3 — their format did not change:
+//
+//	magic "SIMR" | version=4 u32 | C f64 | K u32 | flags u32 |
+//	backend=2 u32 | epoch u64 | n u32 | m u32 | m × (from u32, to u32) |
+//	walks u32 | seed u64 | repairGen u64 | crc32(IEEE)
+//
 // v1 and v2 files restore forever (with epoch 0 — they predate the
-// WAL, so there is never a log tail above them).
+// WAL, so there is never a log tail above them); v3 approx files
+// restore with repair generation 0.
 const (
 	snapshotMagic    = "SIMR"
 	snapshotVersion  = 1
 	snapshotVersion2 = 2
 	snapshotVersion3 = 3
+	snapshotVersion4 = 4
 	flagNoPruning    = 1 << 0
 
 	backendCodeDense  = 0
@@ -88,14 +103,19 @@ func writeSnapshotData(w io.Writer, opts Options, epoch uint64, n int, edges []g
 		flags |= flagNoPruning
 	}
 	code := uint32(backendCodeDense)
+	version := uint32(snapshotVersion3)
 	switch opts.Backend {
 	case BackendPacked:
 		code = backendCodePacked
 	case BackendApprox:
 		code = backendCodeApprox
+		// Only approx moved to v4 (repair-generation counter in the
+		// payload); the exact backends' format is unchanged, so their
+		// files stay readable by pre-v4 binaries.
+		version = snapshotVersion4
 	}
 	hdr := []any{
-		uint32(snapshotVersion3),
+		version,
 		math.Float64bits(opts.C),
 		uint32(opts.K),
 		flags,
@@ -157,7 +177,10 @@ func writeStorePayload(bw *bufio.Writer, store simstore.Store) error {
 		if err := binary.Write(bw, binary.LittleEndian, uint32(s.Walks())); err != nil {
 			return err
 		}
-		return binary.Write(bw, binary.LittleEndian, uint64(s.Seed()))
+		if err := binary.Write(bw, binary.LittleEndian, uint64(s.Seed())); err != nil {
+			return err
+		}
+		return binary.Write(bw, binary.LittleEndian, s.RepairGen())
 	}
 	return fmt.Errorf("simrank: snapshot: unknown store type %T", store)
 }
@@ -203,7 +226,7 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 			return nil, fmt.Errorf("simrank: snapshot header: %w", err)
 		}
 	}
-	if version < snapshotVersion || version > snapshotVersion3 {
+	if version < snapshotVersion || version > snapshotVersion4 {
 		return nil, fmt.Errorf("simrank: unsupported snapshot version %d", version)
 	}
 	backend := BackendDense
@@ -264,10 +287,11 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 	}
 	// The store payload, still parsed into input-bounded buffers.
 	var (
-		vals         []float64
-		approxWalks  uint32
-		approxSeed   uint64
-		payloadTotal int
+		vals            []float64
+		approxWalks     uint32
+		approxSeed      uint64
+		approxRepairGen uint64
+		payloadTotal    int
 	)
 	switch backend {
 	case BackendDense:
@@ -286,6 +310,11 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 		// restores.
 		if approxWalks == 0 || approxWalks > simstore.MaxWalks {
 			return nil, fmt.Errorf("simrank: snapshot approx walk budget %d implausible", approxWalks)
+		}
+		if version >= snapshotVersion4 {
+			if err := binary.Read(tee, binary.LittleEndian, &approxRepairGen); err != nil {
+				return nil, fmt.Errorf("simrank: snapshot approx params: %w", err)
+			}
 		}
 	} else {
 		vals = make([]float64, 0, min(payloadTotal, chunk))
@@ -336,10 +365,14 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 	case BackendApprox:
 		opts.ApproxWalks = int(approxWalks)
 		opts.ApproxSeed = int64(approxSeed)
+		// The rebuild reproduces the serialized walk set bit-identically
+		// (walks are a pure function of graph and seed); only the repair
+		// -generation counter has to be carried explicitly.
 		a, err := simstore.NewApprox(g, c, int(k), opts.ApproxWalks, opts.ApproxSeed)
 		if err != nil {
 			return nil, fmt.Errorf("simrank: snapshot approx store: %w", err)
 		}
+		a.SetRepairGen(approxRepairGen)
 		store = a
 	}
 	return &Engine{opts: opts.withDefaults(), g: g, s: store, epoch: epoch}, nil

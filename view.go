@@ -71,8 +71,9 @@ func (e *Engine) sealView(withDirty bool) *engineView {
 // abandonWriteBuffers tells the store to orphan any buffer a straggling
 // reader still pins instead of recycling it — the facade's non-blocking
 // alternative to waiting for an old view to drain. Only the dense
-// double-buffer recycles memory in place; packed chunks and the approx
-// index are never rewritten, so there is nothing to abandon there.
+// double-buffer recycles memory in place; packed chunks and approx walk
+// rows are copy-on-write — never rewritten in place — so there is
+// nothing to abandon there.
 func (e *Engine) abandonWriteBuffers() {
 	if d, ok := e.s.(*simstore.Dense); ok {
 		d.AbandonBack()
