@@ -223,6 +223,7 @@ func TestPackedSnapshotHalvesFile(t *testing.T) {
 // zero heap allocations — the packed store's Row view is one reusable
 // scratch buffer and AddSym is pure index arithmetic.
 func TestEngineApplyZeroAllocsPacked(t *testing.T) {
+	skipIfRace(t)
 	for _, disablePruning := range []bool{false, true} {
 		rng := rand.New(rand.NewSource(5))
 		g := randTestGraph(rng, 40, 160)

@@ -150,7 +150,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer w.Close()
+		defer func() {
+			// A WAL that fails to close cleanly may hold final records
+			// unsynced; surface that at shutdown instead of dropping it.
+			if cerr := w.Close(); cerr != nil {
+				fmt.Printf("simrankd: wal close: %v\n", cerr)
+			}
+		}()
 		if torn := w.Stats().TornBytes; torn > 0 {
 			fmt.Printf("simrankd: wal recovery truncated a torn tail of %d bytes (previous process died mid-append)\n", torn)
 		}

@@ -72,6 +72,12 @@ func NewConcurrentEngine(n int, edges []Edge, opts Options) (*ConcurrentEngine, 
 // WrapEngine takes ownership of an existing engine (for example one
 // restored via ReadSnapshot) and publishes its first read view. The
 // caller must not use eng directly afterwards.
+//
+// This is one of the two approved publish points (with publish): the
+// first view of a fresh wrap has no WAL ordering to respect, since
+// every committed record is already in the engine being wrapped.
+//
+//simrank:publish
 func WrapEngine(eng *Engine) *ConcurrentEngine {
 	c := &ConcurrentEngine{eng: eng}
 	c.view.Store(eng.sealView(false))
@@ -142,6 +148,8 @@ func (c *ConcurrentEngine) prepareWrite() {
 // without bound). Called with writerMu held, after the mutation
 // committed. withDirty propagates the update's DirtyRows snapshot —
 // only Apply publishes one.
+//
+//simrank:publish
 func (c *ConcurrentEngine) publish(withDirty bool) *engineView {
 	v := c.eng.sealView(withDirty)
 	prev := c.view.Load()

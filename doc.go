@@ -125,4 +125,14 @@
 // hit/miss/invalidation counters, also served in GET /stats. Queries
 // themselves never panic: out-of-range nodes and non-positive k yield
 // zero results. See the README's "Query caching" subsection.
+//
+// # Static analysis
+//
+// The package's core invariants — sealed-view immutability,
+// WAL-append-before-publish ordering, zero-allocation hot paths,
+// determinism, dirty-row reporting, durability error handling — are
+// proven at compile time by the repo's own analyzer suite:
+// `go run ./cmd/simranklint ./...` (internal/analysis). Contracts and
+// audited exceptions are annotated in source with //simrank:*
+// directives; see the README's "Static analysis & invariants" section.
 package simrank

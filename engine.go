@@ -384,12 +384,15 @@ func (e *Engine) Delete(i, j int) (UpdateStats, error) {
 // On the approx backend the update instead repairs the stored-walk
 // index: DirtyRows is a fresh slice naming the nodes whose walk sets
 // changed, and the only stats populated are DirtyRows itself.
+//
+//simrank:noalloc
 func (e *Engine) Apply(up Update) (UpdateStats, error) {
 	if as, ok := e.s.(*simstore.Approx); ok {
 		// The sampling tier bypasses the Inc-SR/Inc-uSR write-backs — it
 		// has no matrix cells for them. Instead the walk index absorbs the
 		// topology change directly, resampling only the invalidated walk
 		// suffixes. Same validation, same error shapes as the exact path.
+		//simrank:allocok approx repair path: one 1-element slice per update, not the exact-tier hot path
 		if err := e.validateBatch([]Update{up}); err != nil {
 			return UpdateStats{}, err
 		}
@@ -480,11 +483,13 @@ func (e *Engine) ApplyBatch(ups []Update) error {
 // The single-update case — the steady state of a low-traffic coalescing
 // pipeline, where every drain cycle holds one update — skips the overlay
 // so it stays allocation-free.
+//
+//simrank:noalloc
 func (e *Engine) validateBatch(ups []Update) error {
 	n := e.g.N()
 	var overlay map[Edge]bool
 	if len(ups) > 1 {
-		overlay = make(map[Edge]bool, len(ups))
+		overlay = make(map[Edge]bool, len(ups)) //simrank:allocok multi-update batches only; the single-update steady state skips the overlay
 	}
 	for _, up := range ups {
 		if up.Edge.From < 0 || up.Edge.From >= n || up.Edge.To < 0 || up.Edge.To >= n {
@@ -502,7 +507,7 @@ func (e *Engine) validateBatch(ups []Update) error {
 			return &core.ErrBadUpdate{Update: up, Reason: reason}
 		}
 		if overlay != nil {
-			overlay[up.Edge] = up.Insert
+			overlay[up.Edge] = up.Insert //simrank:allocok same gated overlay; nil on the single-update path
 		}
 	}
 	return nil

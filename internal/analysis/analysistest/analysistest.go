@@ -1,0 +1,188 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// compares its diagnostics against `// want "regexp"` comments embedded
+// in the fixture sources — a standard-library-only reimplementation of
+// the golang.org/x/tools analysistest idiom.
+//
+// Fixture directories live under testdata/ of each analyzer package, so
+// the go tool never builds them and deliberate violations cannot break
+// `go build ./...`. They are type-checked as an arbitrary package path
+// (see Loader.LoadFixtureDir), which is how fixtures land inside the
+// path scopes the production analyzers guard.
+package analysistest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one `// want "re"` comment: a regexp that must match
+// exactly one diagnostic on the same line of the same file.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// Run loads dir as though it were the package asPath, applies a, and
+// fails t unless the diagnostics match the fixture's want comments
+// exactly: every want regexp consumes one diagnostic on its line, and
+// no diagnostic is left unclaimed.
+func Run(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, dir, asPath)
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	want := expectations(t, pkg)
+
+	used := make([]bool, len(diags))
+	for _, w := range want {
+		matched := false
+		for i, d := range diags {
+			if used[i] {
+				continue
+			}
+			pos := pkg.Fset.Position(d.Pos)
+			if filepath.Base(pos.Filename) != w.file || pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			pos := pkg.Fset.Position(d.Pos)
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// RunClean asserts a produces no diagnostics on dir loaded as asPath.
+// It ignores want comments, so a violation fixture can double as an
+// allowlist test under a different (non-critical) package path.
+func RunClean(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, dir, asPath)
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		t.Errorf("%s:%d: unexpected diagnostic: [%s] %s",
+			filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+	}
+}
+
+func loadFixture(t *testing.T, dir, asPath string) *analysis.Package {
+	t.Helper()
+	l := analysis.NewLoader(moduleRoot(t))
+	pkg, err := l.LoadFixtureDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("load fixture %s as %s: %v", dir, asPath, err)
+	}
+	return pkg
+}
+
+// expectations collects every `// want "re"` comment in the fixture.
+// Several regexps may follow one want: `// want "a" "b"`.
+func expectations(t *testing.T, pkg *analysis.Package) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, pkg *analysis.Package, c *ast.Comment) []expectation {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var out []expectation
+	for rest != "" {
+		if rest[0] != '"' {
+			t.Fatalf("%s:%d: malformed want comment (expected quoted regexp): %s", pos.Filename, pos.Line, c.Text)
+		}
+		end := quotedEnd(rest)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated regexp in want comment: %s", pos.Filename, pos.Line, c.Text)
+		}
+		raw, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad quoted regexp %s: %v", pos.Filename, pos.Line, rest[:end+1], err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s:%d: bad regexp %q: %v", pos.Filename, pos.Line, raw, err)
+		}
+		out = append(out, expectation{
+			file: filepath.Base(pos.Filename),
+			line: pos.Line,
+			re:   re,
+			raw:  raw,
+		})
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return out
+}
+
+// quotedEnd returns the index of the closing quote of the Go string
+// literal starting at s[0] == '"', honoring backslash escapes.
+func quotedEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// moduleRoot walks up from the test's working directory (the analyzer
+// package dir) to the enclosing go.mod, which is where the loader must
+// run `go list`.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

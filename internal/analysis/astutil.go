@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ParentMap records the direct parent of every node under root.
+// Analyzers that reason about context (dominance, statement position)
+// build one per function body.
+func ParentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// unconditionalAnchor climbs from n to the outermost statement that is
+// guaranteed to execute n when the statement itself executes, and
+// returns that statement's enclosing block and index. ok is false when
+// n's execution is conditional all the way up (guarded by a branch,
+// loop body, case clause, short-circuit operand, defer/go, or a nested
+// function literal).
+func unconditionalAnchor(parents map[ast.Node]ast.Node, n ast.Node) (blk *ast.BlockStmt, idx int, ok bool) {
+	cur := n
+	for {
+		p := parents[cur]
+		if p == nil {
+			return nil, 0, false
+		}
+		switch pp := p.(type) {
+		case *ast.BlockStmt:
+			for i, s := range pp.List {
+				if s == cur {
+					return pp, i, true
+				}
+			}
+			return nil, 0, false
+		case *ast.IfStmt:
+			if cur == pp.Body || cur == pp.Else {
+				return nil, 0, false
+			}
+		case *ast.ForStmt:
+			if cur == pp.Body || cur == pp.Post {
+				return nil, 0, false
+			}
+		case *ast.RangeStmt:
+			if cur == pp.Body {
+				return nil, 0, false
+			}
+		case *ast.CaseClause, *ast.CommClause, *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return nil, 0, false
+		case *ast.BinaryExpr:
+			if (pp.Op == token.LAND || pp.Op == token.LOR) && cur == pp.Y {
+				return nil, 0, false
+			}
+		}
+		cur = p
+	}
+}
+
+// Dominates reports whether, on every execution path of the enclosing
+// function, a executes before b. This is the syntactic approximation
+// that is sound for goto-free structured Go: a must sit unconditionally
+// in some block that is an ancestor of b, at a statement strictly
+// before b's, or within b's own statement at an earlier source
+// position (init clauses, left operands, earlier call arguments).
+func Dominates(parents map[ast.Node]ast.Node, a, b ast.Node) bool {
+	blk, idxA, ok := unconditionalAnchor(parents, a)
+	if !ok {
+		return false
+	}
+	// Find the statement of blk on b's ancestor chain.
+	for cur := ast.Node(b); cur != nil; cur = parents[cur] {
+		p := parents[cur]
+		if p != ast.Node(blk) {
+			continue
+		}
+		for i, s := range blk.List {
+			if s == cur {
+				if i != idxA {
+					return i > idxA
+				}
+				// Same statement: source order decides (Go evaluates
+				// init clauses and operands left to right).
+				return a.Pos() < b.Pos()
+			}
+		}
+	}
+	return false
+}

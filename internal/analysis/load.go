@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed, type-checked package — the loader's
+// replacement for go/packages.Package, built from `go list -json -deps`
+// plus go/parser and go/types (the x/tools module is not vendored, so
+// everything here is standard library only).
+type Package struct {
+	Path     string // import path the package was loaded as
+	Name     string
+	Dir      string
+	Standard bool // part of the Go standard library
+
+	Fset  *token.FileSet
+	Files []*ast.File // parsed sources; nil for std packages
+
+	Types *types.Package
+	Info  *types.Info // filled for non-std packages only
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// A Loader loads and type-checks packages of the module rooted at Dir,
+// memoizing across calls — loading `./...` after a fixture load reuses
+// every already-checked dependency.
+type Loader struct {
+	Dir  string // module root (where go list runs)
+	Fset *token.FileSet
+
+	mu   sync.Mutex
+	pkgs map[string]*Package // by resolved import path
+}
+
+// NewLoader returns a loader for the module rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, Fset: token.NewFileSet(), pkgs: map[string]*Package{}}
+}
+
+// Load resolves patterns (e.g. "./...") with the go command and returns
+// the matched packages, fully type-checked, in dependency order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	targets, err := l.goList(false, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.loadDeps(patterns...); err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range targets {
+		p := l.pkgs[t.ImportPath]
+		if p == nil {
+			return nil, fmt.Errorf("load: %s missing after dependency load", t.ImportPath)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadFixtureDir parses every .go file under dir (a testdata fixture
+// directory, invisible to the go tool) and type-checks the result as if
+// it were the package asPath. Imports are resolved against the real
+// module, so fixtures exercise analyzers on genuine repo types.
+func (l *Loader) LoadFixtureDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(imports) > 0 {
+		if err := l.loadDeps(imports...); err != nil {
+			return nil, err
+		}
+	}
+	info := newInfo()
+	conf := l.typesConfig(nil)
+	tpkg, err := conf.Check(asPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check fixture %s: %w", dir, err)
+	}
+	return &Package{
+		Path:  asPath,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// loadDeps loads the full dependency closure of patterns into l.pkgs.
+// Callers hold l.mu.
+func (l *Loader) loadDeps(patterns ...string) error {
+	all, err := l.goList(true, patterns...)
+	if err != nil {
+		return err
+	}
+	// go list -deps emits dependencies before dependents, so a single
+	// forward pass can type-check with every import already resolved.
+	for _, lp := range all {
+		if l.pkgs[lp.ImportPath] != nil {
+			continue
+		}
+		p, err := l.check(lp)
+		if err != nil {
+			return err
+		}
+		l.pkgs[lp.ImportPath] = p
+	}
+	return nil
+}
+
+// check parses and type-checks one listed package.
+func (l *Loader) check(lp *listPackage) (*Package, error) {
+	if lp.Error != nil {
+		return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	if lp.ImportPath == "unsafe" {
+		return &Package{Path: "unsafe", Name: "unsafe", Standard: true, Fset: l.Fset, Types: types.Unsafe}, nil
+	}
+	mode := parser.SkipObjectResolution
+	if !lp.Standard {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if !lp.Standard {
+		info = newInfo()
+	}
+	conf := l.typesConfig(lp.ImportMap)
+	tpkg, err := conf.Check(lp.ImportPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", lp.ImportPath, err)
+	}
+	p := &Package{
+		Path:     lp.ImportPath,
+		Name:     lp.Name,
+		Dir:      lp.Dir,
+		Standard: lp.Standard,
+		Fset:     l.Fset,
+		Types:    tpkg,
+	}
+	if !lp.Standard {
+		p.Files = files
+		p.Info = info
+	}
+	return p, nil
+}
+
+func (l *Loader) typesConfig(importMap map[string]string) *types.Config {
+	return &types.Config{
+		Importer: &mapImporter{loader: l, importMap: importMap},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// mapImporter resolves imports against the loader's memo, applying the
+// importing package's ImportMap first (std-vendored paths like
+// golang.org/x/net/... resolve to vendor/golang.org/x/net/...).
+type mapImporter struct {
+	loader    *Loader
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.loader.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	// Fall back to the compiler's export data for anything go list
+	// -deps did not surface (defensive; should not happen in practice).
+	return importer.Default().Import(path)
+}
+
+// goList shells out to `go list -json` (with -deps when deps is true)
+// and decodes the JSON stream. CGO is disabled so file lists are the
+// pure-Go ones go/types can check without a C toolchain.
+func (l *Loader) goList(deps bool, patterns ...string) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot finds the repo root relative to this source file so tests
+// pass regardless of the working directory go test uses.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestLoaderTypeChecksModulePackages(t *testing.T) {
+	l := NewLoader(moduleRoot(t))
+	pkgs, err := l.Load("repro/internal/graph", "repro/internal/simstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: incomplete load (types=%v info=%v files=%d)", p.Path, p.Types != nil, p.Info != nil, len(p.Files))
+		}
+	}
+	g := pkgs[0]
+	if g.Types.Scope().Lookup("DiGraph") == nil {
+		t.Errorf("repro/internal/graph: DiGraph not found in package scope")
+	}
+	// Loading again must reuse the memo and keep working.
+	again, err := l.Load("repro/internal/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Types != g.Types {
+		t.Error("second load did not reuse the cached package")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	src := `package p
+
+func f(c bool) {
+	a1()
+	if c {
+		b1()
+	}
+	if x := a2(); x {
+		b2()
+	}
+	for i := 0; i < 3; i++ {
+		b3()
+	}
+	if c {
+		a3()
+		b4()
+	}
+}
+
+func a1() {}
+func a2() bool { return true }
+func a3() {}
+func b1() {}
+func b2() {}
+func b3() {}
+func b4() {}
+`
+	fset := token.NewFileSet()
+	file := mustParse(t, fset, src)
+	fn := file.Decls[0]
+	parents := ParentMap(fn)
+	calls := map[string]ast.Node{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok {
+				calls[id.Name] = c
+			}
+		}
+		return true
+	})
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"a1", "b1", true},  // straight-line then guarded: dominates
+		{"a2", "b2", true},  // if-init dominates the if body
+		{"b1", "b2", false}, // guarded call does not dominate later code
+		{"a1", "b3", true},  // dominates loop bodies below it
+		{"a3", "b4", true},  // same guarded block, earlier statement
+		{"b4", "a3", false}, // order within a block matters
+		{"b3", "b4", false}, // loop body does not dominate later blocks
+	}
+	for _, c := range cases {
+		if got := Dominates(parents, calls[c.a], calls[c.b]); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func mustParse(t *testing.T, fset *token.FileSet, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,144 @@
+// Package detrand enforces the repository's determinism contract in
+// the packages whose output must be bit-identical across runs,
+// replicas and repair-vs-rebuild: all randomness derives from chained
+// splitmix64 seeds, and no observable result may depend on Go's
+// randomized map iteration order.
+//
+// In determinism-critical packages it reports:
+//
+//   - imports of math/rand and math/rand/v2 (ambient randomness);
+//   - integer wall-clock reads (time.Now().UnixNano() and friends) —
+//     the classic seed smell; determinism-critical code has no business
+//     turning the clock into an integer;
+//   - every `for ... range m` over a map, unless the loop body only
+//     writes map entries or deletes keys (trivially order-invariant),
+//     or the loop carries a `//simrank:orderinvariant <reason>`
+//     directive recording the audit that proved order independence.
+//
+// internal/gen, internal/exp and _test.go files are allowlisted by
+// contract: generators and experiments may use ambient randomness.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// critical lists the packages whose results must be deterministic:
+// the engine facade (snapshot/replay/publish), the incremental kernels,
+// the graph/matrix/batch compute layer, the store backends, the
+// Monte-Carlo walk index, WAL replay, and the caches/metrics that feed
+// query results.
+var critical = map[string]bool{
+	"repro":                     true,
+	"repro/internal/core":       true,
+	"repro/internal/graph":      true,
+	"repro/internal/matrix":     true,
+	"repro/internal/batch":      true,
+	"repro/internal/simstore":   true,
+	"repro/internal/montecarlo": true,
+	"repro/internal/wal":        true,
+	"repro/internal/cache":      true,
+	"repro/internal/metrics":    true,
+}
+
+// intClockMethods are time.Time methods that collapse the wall clock
+// into an integer — the seeding idiom detrand exists to keep out.
+var intClockMethods = map[string]bool{
+	"Unix": true, "UnixMilli": true, "UnixMicro": true, "UnixNano": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbids ambient randomness and map-iteration-order dependence in determinism-critical packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !critical[pass.Path] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass, file) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in determinism-critical package; derive randomness from the chained splitmix64 seeds instead", path)
+			}
+		}
+		invariant := analysis.LineDirectives(pass.Fset, file, "orderinvariant")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if recv, name, ok := analysis.MethodCall(node); ok && intClockMethods[name] {
+					if tv, ok := pass.Info.Types[recv]; ok && analysis.NamedTypeName(tv.Type) == "Time" && analysis.NamedTypePkgPath(tv.Type) == "time" {
+						pass.Reportf(node.Pos(), "integer wall-clock read (%s) in determinism-critical package; clocks must not feed seeds or results", name)
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, node, invariant)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, loop *ast.RangeStmt, invariant map[int]bool) {
+	tv, ok := pass.Info.Types[loop.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if invariant[pass.Fset.Position(loop.Pos()).Line] {
+		return
+	}
+	if orderInvariantBody(pass.Info, loop.Body) {
+		return
+	}
+	pass.Reportf(loop.Pos(), "map iteration with an order-sensitive body; sort the keys, or audit the loop and annotate //simrank:orderinvariant with the reason")
+}
+
+// orderInvariantBody recognizes the loop shapes that are trivially
+// independent of iteration order: every statement either writes a map
+// entry (distinct keys land in distinct slots) or deletes one. Anything
+// else — appends, accumulation into floats, calls — needs an audit.
+func orderInvariantBody(info *types.Info, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				tv, ok := info.Types[idx.X]
+				if !ok {
+					return false
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return false
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "delete" || info.Uses[id] != types.Universe.Lookup("delete") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

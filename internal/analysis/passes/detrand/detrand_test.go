@@ -1,0 +1,18 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, "testdata/critical", "repro/internal/core", detrand.Analyzer)
+}
+
+// Generators may use ambient randomness by contract: the very same file
+// must produce nothing when loaded as internal/gen.
+func TestGeneratorPackageExempt(t *testing.T) {
+	analysistest.RunClean(t, "testdata/critical", "repro/internal/gen", detrand.Analyzer)
+}

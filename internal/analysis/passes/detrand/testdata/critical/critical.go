@@ -1,0 +1,50 @@
+// Deliberate detrand violations plus the audited loop shapes. The
+// harness type-checks this directory once as a determinism-critical
+// package (violations fire) and once as internal/gen (allowlisted, so
+// the same file must produce nothing).
+package kernel
+
+import (
+	"math/rand" // want "import of math/rand in determinism-critical package"
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+// The classic seed smell: collapsing the wall clock into an integer.
+func seed() int64 {
+	return time.Now().UnixNano() // want "integer wall-clock read"
+}
+
+// Float accumulation in map order: the low bits depend on Go's
+// randomized iteration.
+func sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "map iteration with an order-sensitive body"
+		s += v
+	}
+	return s
+}
+
+// The audited fix: collect keys, sort, fold in index order.
+func sortedSum(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	//simrank:orderinvariant collects keys only; sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// Trivially order-invariant: distinct keys land in distinct slots.
+func scatter(src, dst map[int]float64) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}

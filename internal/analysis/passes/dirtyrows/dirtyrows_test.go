@@ -1,0 +1,17 @@
+package dirtyrows_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/dirtyrows"
+)
+
+func TestDirtyRows(t *testing.T) {
+	analysistest.Run(t, "testdata/core", "repro/internal/core", dirtyrows.Analyzer)
+}
+
+// The pairing rule only binds the incremental kernels in internal/core.
+func TestOtherPackagesExempt(t *testing.T) {
+	analysistest.RunClean(t, "testdata/core", "repro/internal/cache", dirtyrows.Analyzer)
+}

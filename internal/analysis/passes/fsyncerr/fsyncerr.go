@@ -1,0 +1,103 @@
+// Package fsyncerr flags discarded error results from Sync, Close and
+// Rename in the durability-critical packages (the WAL, the snapshot
+// write path, the server pipeline).
+//
+// A WAL that swallows a Sync error silently converts "durable" into
+// "probably durable"; a snapshot rename whose error is dropped can
+// acknowledge a checkpoint that never hit the disk. The rule is
+// stricter than a generic errcheck: in scope, a bare `f.Close()`
+// statement (or `defer f.Close()`) is an error, not a warning. A
+// deliberate discard must be written as `_ = f.Close()` or carry a
+// `//simrank:errok <reason>` directive, so intent is visible at the
+// call site.
+package fsyncerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// scope is the set of packages where dropped Sync/Close/Rename errors
+// are correctness bugs: the snapshot write path lives in the root
+// package, the WAL and the write pipeline in their own.
+var scope = map[string]bool{
+	"repro":                 true,
+	"repro/internal/wal":    true,
+	"repro/internal/server": true,
+}
+
+// watched is the set of durability-relevant names. Rename covers both
+// os.Rename and rename-like methods.
+var watched = map[string]bool{"Sync": true, "Close": true, "Rename": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncerr",
+	Doc:  "flags discarded Sync/Close/Rename errors in the WAL and snapshot write path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope[pass.Path] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		errok := analysis.LineDirectives(pass.Fset, file, "errok")
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+				how = "discarded"
+			case *ast.DeferStmt:
+				call = s.Call
+				how = "discarded by defer"
+			case *ast.GoStmt:
+				call = s.Call
+				how = "discarded by go"
+			default:
+				return true
+			}
+			if call == nil || !returnsWatchedError(pass.Info, call) {
+				return true
+			}
+			if errok[pass.Fset.Position(call.Pos()).Line] {
+				return true
+			}
+			_, name, _ := analysis.MethodCall(call)
+			if name == "" {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					name = id.Name
+				}
+			}
+			pass.Reportf(call.Pos(), "%s error %s; handle it, or write `_ = %s(...)` / //simrank:errok with a reason", name, how, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsWatchedError reports whether call invokes a watched name whose
+// last result is an error (so discarding it loses information).
+func returnsWatchedError(info *types.Info, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if !watched[name] {
+		return false
+	}
+	sig := analysis.CallSignature(info, call)
+	if sig == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

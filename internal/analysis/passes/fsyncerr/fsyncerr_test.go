@@ -1,0 +1,18 @@
+package fsyncerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/fsyncerr"
+)
+
+func TestFsyncErr(t *testing.T) {
+	analysistest.Run(t, "testdata/wal", "repro/internal/wal", fsyncerr.Analyzer)
+}
+
+// Outside the durability-critical packages a dropped Close is ordinary
+// code, not a finding.
+func TestOtherPackagesExempt(t *testing.T) {
+	analysistest.RunClean(t, "testdata/wal", "repro/internal/graph", fsyncerr.Analyzer)
+}

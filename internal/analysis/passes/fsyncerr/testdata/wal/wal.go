@@ -1,0 +1,32 @@
+// Deliberate fsyncerr violations plus the approved discard idioms.
+// Type-checked as repro/internal/wal by the harness, where dropped
+// Sync/Close/Rename errors are correctness bugs.
+package wal
+
+import "os"
+
+func flushBad(f *os.File) {
+	f.Sync()        // want "Sync error discarded"
+	defer f.Close() // want "Close error discarded by defer"
+}
+
+func renameBad(from, to string) {
+	os.Rename(from, to) // want "Rename error discarded"
+}
+
+// Handled errors and the explicit `_ =` discard pass.
+func flushGood(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename("a", "b")
+}
+
+func cleanupTemp(f *os.File) {
+	_ = f.Close()
+}
+
+// A justified discard carries the reason at the call site.
+func readOnly(f *os.File) {
+	defer f.Close() //simrank:errok read-only handle; nothing written through it
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/hotpath", "repro/internal/fixture", noalloc.Analyzer)
+}

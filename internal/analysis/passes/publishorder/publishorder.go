@@ -1,0 +1,127 @@
+// Package publishorder proves the MVCC publication discipline of the
+// root package at compile time.
+//
+// Two rules:
+//
+//  1. The view pointer may only be stored from an approved publish
+//     point: any call to Store on a sync/atomic Pointer or Value must
+//     occur inside a function annotated //simrank:publish. Everything
+//     else must go through those functions, so invariants attached to
+//     publication (epoch stamping, cache rotation, reader draining)
+//     cannot be bypassed.
+//
+//  2. Durability before visibility: in any function that both appends
+//     to the WAL (a *WAL Append call or a logRecord call) and
+//     publishes (an atomic store or a call to a //simrank:publish
+//     function), every publish must be dominated by an append. A
+//     publish that can execute on a path that skipped the append would
+//     acknowledge state a crash could not replay.
+package publishorder
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "publishorder",
+	Doc:  "atomic view publication only in //simrank:publish functions, WAL append dominating publish",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Path != "repro" {
+		return nil
+	}
+	// Pre-pass: the package's approved publish points.
+	publishFuncs := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && analysis.HasFuncDirective(fn, "publish") {
+				publishFuncs[fn.Name.Name] = true
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, publishFuncs)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, publishFuncs map[string]bool) {
+	inPublish := analysis.HasFuncDirective(fn, "publish")
+	var appends, publishes []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, isMethod := analysis.MethodCall(call)
+		switch {
+		case isMethod && name == "Store" && isAtomicCell(pass, recv):
+			if !inPublish {
+				pass.Reportf(call.Pos(), "atomic view publication outside a //simrank:publish function; route this through the publish point")
+			}
+			publishes = append(publishes, call)
+		case isMethod && name == "Append" && isWAL(pass, recv):
+			appends = append(appends, call)
+		case name == "logRecord":
+			appends = append(appends, call)
+		case isMethod && publishFuncs[name], !isMethod && isIdentCall(call, publishFuncs):
+			publishes = append(publishes, call)
+		}
+		return true
+	})
+	if len(appends) == 0 || len(publishes) == 0 {
+		return
+	}
+	parents := analysis.ParentMap(fn)
+	for _, p := range publishes {
+		dominated := false
+		for _, a := range appends {
+			if analysis.Dominates(parents, a, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			pass.Reportf(p.Pos(), "view publish not dominated by the WAL append in this function; a crash on this path loses an acknowledged update")
+		}
+	}
+}
+
+// isAtomicCell reports whether recv is a sync/atomic Pointer[T] or
+// Value — the cells MVCC views publish through.
+func isAtomicCell(pass *analysis.Pass, recv ast.Expr) bool {
+	tv, ok := pass.Info.Types[recv]
+	if !ok {
+		return false
+	}
+	name := analysis.NamedTypeName(tv.Type)
+	return (name == "Pointer" || name == "Value") && analysis.NamedTypePkgPath(tv.Type) == "sync/atomic"
+}
+
+// isWAL reports whether recv is a write-ahead log handle, by type name
+// so fixture packages can model one without importing internal/wal.
+func isWAL(pass *analysis.Pass, recv ast.Expr) bool {
+	tv, ok := pass.Info.Types[recv]
+	if !ok {
+		return false
+	}
+	return analysis.NamedTypeName(tv.Type) == "WAL"
+}
+
+func isIdentCall(call *ast.CallExpr, names map[string]bool) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && names[id.Name]
+}

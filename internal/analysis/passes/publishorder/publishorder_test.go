@@ -1,0 +1,18 @@
+package publishorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/publishorder"
+)
+
+func TestPublishOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/rootpkg", "repro", publishorder.Analyzer)
+}
+
+// The publication discipline is a root-package invariant; elsewhere the
+// analyzer must stay silent.
+func TestOtherPackagesExempt(t *testing.T) {
+	analysistest.RunClean(t, "testdata/rootpkg", "repro/internal/server", publishorder.Analyzer)
+}

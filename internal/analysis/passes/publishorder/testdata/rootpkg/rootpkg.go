@@ -1,0 +1,50 @@
+// Deliberate publishorder violations plus the approved shapes. The
+// harness type-checks this directory as the root package "repro", where
+// the analyzer is active; the go tool never builds it.
+package simrank
+
+import "sync/atomic"
+
+type view struct{ epoch uint64 }
+
+// WAL models the write-ahead log by type name, the way the analyzer
+// recognizes it.
+type WAL struct{ n int }
+
+func (w *WAL) Append(rec []byte) error { w.n++; return nil }
+
+type engine struct {
+	view atomic.Pointer[view]
+	wal  *WAL
+}
+
+// The one approved publish point.
+//
+//simrank:publish
+func (e *engine) publish(v *view) {
+	e.view.Store(v)
+}
+
+// Durability before visibility: append, then publish.
+func (e *engine) applyGood(rec []byte) error {
+	if err := e.wal.Append(rec); err != nil {
+		return err
+	}
+	e.publish(&view{})
+	return nil
+}
+
+// Rule 1: storing the view outside a publish function bypasses the
+// invariants attached to publication.
+func (e *engine) applyRogue(v *view) {
+	e.view.Store(v) // want "outside a //simrank:publish function"
+}
+
+// Rule 2: a publish the WAL append does not dominate acknowledges
+// state a crash could not replay.
+//
+//simrank:publish
+func (e *engine) publishFirst(rec []byte) error {
+	e.view.Store(&view{}) // want "not dominated by the WAL append"
+	return e.wal.Append(rec)
+}

@@ -1,0 +1,18 @@
+package sealedwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/sealedwrite"
+)
+
+func TestSealedWrite(t *testing.T) {
+	analysistest.Run(t, "testdata/views", "repro/internal/fixture", sealedwrite.Analyzer)
+}
+
+// The copy-on-write implementer packages own the seal machinery; the
+// same violations must produce nothing there.
+func TestImplementerPackagesExempt(t *testing.T) {
+	analysistest.RunClean(t, "testdata/views", "repro/internal/simstore", sealedwrite.Analyzer)
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MethodCall decomposes call into (receiver expression, method name)
+// when call is a method call through a selector, e.g. s.AddSym(...).
+func MethodCall(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// NamedTypeName returns the name of t's named type, looking through
+// pointers and aliases; "" when t has no name (slices, maps, funcs,
+// anonymous structs, unnamed interfaces).
+func NamedTypeName(t types.Type) string {
+	if n := namedOf(t); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// NamedTypePkgPath returns the import path of the package declaring
+// t's named type, or "" for unnamed and universe types.
+func NamedTypePkgPath(t types.Type) string {
+	if n := namedOf(t); n != nil && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path()
+	}
+	return ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// CalleePkgPath returns the import path of the package a call's callee
+// belongs to: "fmt" for fmt.Sprintf, the receiver's method package for
+// method calls, "" for builtins, conversions and local closures.
+func CalleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+		}
+		if obj := info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil && obj.Pkg() != nil {
+			if _, isFunc := obj.(*types.Func); isFunc {
+				return obj.Pkg().Path()
+			}
+		}
+	}
+	return ""
+}
+
+// CallSignature returns the static signature of the called function,
+// or nil for builtins and type conversions.
+func CallSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// IsInterface reports whether t's underlying type is an interface.
+func IsInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// PointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly in the data word — pointers,
+// channels, maps, funcs and unsafe.Pointer never allocate when boxed.
+func PointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file (several analyzers allowlist tests by contract).
+func IsTestFile(p *Pass, pos ast.Node) bool {
+	name := p.Fset.Position(pos.Pos()).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

@@ -19,6 +19,8 @@ import (
 // is fixed by the CSR layout of q, not by the partition, so the result is
 // bit-identical for every worker count — callers may switch between
 // sequential and parallel freely without perturbing exact tests.
+//
+//simrank:noalloc
 func MatrixFormInto(s, tmp *matrix.Dense, q *matrix.CSR, c float64, k, workers int) {
 	n := q.RowsN
 	if s.Rows != n || s.Cols != n || tmp.Rows != n || tmp.Cols != n {
@@ -50,11 +52,13 @@ func MatrixFormInto(s, tmp *matrix.Dense, q *matrix.CSR, c float64, k, workers i
 	}
 	for iter := 0; iter < k; iter++ {
 		// tmp = Q·S, rows split across workers.
+		//simrank:allocok parallel path: O(workers) closures per iteration, the documented trade for the speedup
 		matrix.ParallelRows(n, workers, func(lo, hi int) {
 			matrix.SpMulDense(tmp, q, s, lo, hi)
 		})
 		// s = C·(tmp·Qᵀ) + (1−C)·I; row a of the result reads only row a
 		// of tmp, so the same row partition is race-free.
+		//simrank:allocok parallel path: O(workers) closures per iteration, the documented trade for the speedup
 		matrix.ParallelRows(n, workers, func(lo, hi int) {
 			matrix.SpMulDenseT(s, q, tmp, c, lo, hi)
 			for d := lo; d < hi; d++ {

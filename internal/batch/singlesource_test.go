@@ -3,6 +3,8 @@ package batch
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/race"
 )
 
 // SingleSource must equal the query column of the full matrix-form
@@ -35,6 +37,9 @@ func TestSingleSourceMatchesMatrixForm(t *testing.T) {
 // to the collector): a constant handful of O(n) buffers carries the
 // whole series.
 func TestSingleSourceAllocsIndependentOfK(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation-count assertion skipped under -race: detector instrumentation allocates, so AllocsPerRun counts are not meaningful")
+	}
 	rng := rand.New(rand.NewSource(17))
 	g := randGraph(rng, 60, 240)
 	q := g.BackwardTransition()

@@ -241,6 +241,8 @@ func (c *TopK) PutGlobal(k int, pairs []metrics.Pair, at uint64) {
 // pruned to zero) keeps the whole cache. Readers are never excluded:
 // a reader concurrently finishing a scan of an older view is fenced off
 // by the epoch arithmetic, not by this call.
+//
+//simrank:noalloc
 func (c *TopK) InvalidateRows(rows []int, at uint64) {
 	if len(rows) == 0 {
 		return

@@ -44,6 +44,8 @@ func IncSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64,
 // packed-symmetric store — every read respects the scratch-row aliasing
 // contract and every write goes through AddSym, so the store layout is
 // free to halve the symmetric storage.
+//
+//simrank:noalloc
 func (ws *Workspace) IncSR(s SimStore, up graph.Update, c float64, k int) (Stats, error) {
 	n := ws.n
 	if s.N() != n {
@@ -228,6 +230,8 @@ func (ws *Workspace) IncSR(s SimStore, up graph.Update, c float64, k int) (Stats
 // gammaWs fills gam with gammaDense restricted to the B₀ support
 // (Algorithm 2 lines 4–12): every entry of γ outside B₀ is structurally
 // zero by the Theorem-4 argument, so it is never materialized.
+//
+//simrank:noalloc
 func gammaWs(gam *wsVec, s SimStore, w *wsVec, lam float64, up graph.Update, dj int, c float64, b0 *wsVec) {
 	i, j := up.Edge.From, up.Edge.To
 	if up.Insert {

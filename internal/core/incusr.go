@@ -43,6 +43,8 @@ type Stats struct {
 
 // lambda computes the scalar λ of Eq. (29):
 // λ = [S]_{i,i} + (1/C)[S]_{j,j} − 2·[w]_j − 1/C + 1, where w = Q·[S]_{·,i}.
+//
+//simrank:noalloc
 func lambda(s SimStore, i, j int, wj, c float64) float64 {
 	return s.At(i, i) + s.At(j, j)/c - 2*wj - 1/c + 1
 }
@@ -50,6 +52,8 @@ func lambda(s SimStore, i, j int, wj, c float64) float64 {
 // gammaDense fills gam with the auxiliary vector γ of Theorem 3
 // (Eqs. 27–28) given the memoized w = Q·[S]_{·,i}, the scalar λ, the old
 // S, and the update. dj is the in-degree of j in the old graph.
+//
+//simrank:noalloc
 func gammaDense(gam []float64, s SimStore, w []float64, lam float64, up graph.Update, dj int, c float64) {
 	n := s.N()
 	i, j := up.Edge.From, up.Edge.To
@@ -116,6 +120,8 @@ func IncUSRInPlace(g *graph.DiGraph, s *matrix.Dense, up graph.Update, c float64
 // ApplyUpdate separately once the graph changes). Like IncSR it accepts
 // any SimStore: all writes flow through Add/AddSym so symmetric layouts
 // apply each unordered pair's delta to one backing cell.
+//
+//simrank:noalloc
 func (ws *Workspace) IncUSR(s SimStore, up graph.Update, c float64, k int) (Stats, error) {
 	n := ws.n
 	if s.N() != n {

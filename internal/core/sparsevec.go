@@ -56,24 +56,30 @@ func (s *SparseVec) At(i int) float64 { return s.Val[i] }
 // NNZ returns the number of stored entries.
 func (s *SparseVec) NNZ() int { return len(s.Val) }
 
-// Dot returns the inner product with a dense vector.
+// Dot returns the inner product with a dense vector. Accumulation runs
+// in sorted index order: float addition is not associative, so folding
+// in map order would make the low bits of the result depend on Go's
+// randomized iteration — the exact non-determinism the repair==rebuild
+// bit-equality guarantees forbid.
 func (s *SparseVec) Dot(x []float64) float64 {
 	var sum float64
-	for i, v := range s.Val {
-		sum += v * x[i]
+	for _, i := range s.Support() {
+		sum += s.Val[i] * x[i]
 	}
 	return sum
 }
 
-// DotSparse returns the inner product with another sparse vector.
+// DotSparse returns the inner product with another sparse vector,
+// accumulated in sorted index order for the same bit-determinism reason
+// as Dot.
 func (s *SparseVec) DotSparse(o *SparseVec) float64 {
 	a, b := s, o
 	if b.NNZ() < a.NNZ() {
 		a, b = b, a
 	}
 	var sum float64
-	for i, v := range a.Val {
-		sum += v * b.Val[i]
+	for _, i := range a.Support() {
+		sum += a.Val[i] * b.Val[i]
 	}
 	return sum
 }
@@ -101,6 +107,7 @@ func (s *SparseVec) Clone() *SparseVec {
 // Dense expands to a dense slice.
 func (s *SparseVec) Dense() []float64 {
 	out := make([]float64, s.N)
+	//simrank:orderinvariant distinct keys write distinct slots; no accumulation
 	for i, v := range s.Val {
 		out[i] = v
 	}
@@ -110,6 +117,7 @@ func (s *SparseVec) Dense() []float64 {
 // Support returns the sorted index support.
 func (s *SparseVec) Support() []int {
 	idx := make([]int, 0, len(s.Val))
+	//simrank:orderinvariant collects keys only; sorted before return
 	for i := range s.Val {
 		idx = append(idx, i)
 	}
@@ -153,6 +161,7 @@ func (m *SparseMat) At(i, j int) float64 {
 // NNZ returns the number of stored entries.
 func (m *SparseMat) NNZ() int {
 	n := 0
+	//simrank:orderinvariant integer addition is commutative and exact
 	for _, row := range m.Rows {
 		n += row.NNZ()
 	}
@@ -161,16 +170,22 @@ func (m *SparseMat) NNZ() int {
 
 // AddOuter accumulates x·yᵀ into m for sparse x, y.
 func (m *SparseMat) AddOuter(x, y *SparseVec) {
+	//simrank:orderinvariant each distinct (i,j) is written exactly once per call
 	for i, xi := range x.Val {
+		//simrank:orderinvariant each distinct (i,j) is written exactly once per call
 		for j, yj := range y.Val {
 			m.Add(i, j, xi*yj)
 		}
 	}
 }
 
-// Each calls fn for every stored entry (unordered).
+// Each calls fn for every stored entry (unordered). Callers must fold
+// commutatively or write to distinct slots — entry order is
+// deliberately unspecified.
 func (m *SparseMat) Each(fn func(i, j int, v float64)) {
+	//simrank:orderinvariant contract: callers fold commutatively (unordered by doc)
 	for i, row := range m.Rows {
+		//simrank:orderinvariant contract: callers fold commutatively (unordered by doc)
 		for j, v := range row.Val {
 			fn(i, j, v)
 		}

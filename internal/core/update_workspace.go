@@ -130,6 +130,8 @@ func (ws *Workspace) N() int { return ws.n }
 
 // resetDirty clears the dirty-row record for the next update, in time
 // proportional to the rows previously marked.
+//
+//simrank:noalloc
 func (ws *Workspace) resetDirty() {
 	for _, r := range ws.dirtyRows {
 		ws.dirtyMark[r] = false
@@ -138,6 +140,8 @@ func (ws *Workspace) resetDirty() {
 }
 
 // markDirty records that the update wrote row r of S.
+//
+//simrank:noalloc
 func (ws *Workspace) markDirty(r int) {
 	if !ws.dirtyMark[r] {
 		ws.dirtyMark[r] = true
@@ -147,6 +151,8 @@ func (ws *Workspace) markDirty(r int) {
 
 // searchEnt returns the position of idx in the sorted row (or the
 // insertion point if absent).
+//
+//simrank:noalloc
 func searchEnt(row []qEnt, idx int) int {
 	lo, hi := 0, len(row)
 	for lo < hi {
@@ -161,6 +167,8 @@ func searchEnt(row []qEnt, idx int) int {
 }
 
 // hasEdge reports whether edge (i, j) is present, i.e. i ∈ I(j).
+//
+//simrank:noalloc
 func (ws *Workspace) hasEdge(i, j int) bool {
 	row := ws.q[j]
 	p := searchEnt(row, i)
@@ -168,11 +176,15 @@ func (ws *Workspace) hasEdge(i, j int) bool {
 }
 
 // setEnt overwrites the value at idx, which must be present.
+//
+//simrank:noalloc
 func setEnt(row []qEnt, idx int, v float64) {
 	row[searchEnt(row, idx)].val = v
 }
 
 // insertEnt adds (idx, v) keeping the row sorted; idx must be absent.
+//
+//simrank:noalloc
 func insertEnt(row []qEnt, idx int, v float64) []qEnt {
 	p := searchEnt(row, idx)
 	row = append(row, qEnt{})
@@ -182,6 +194,8 @@ func insertEnt(row []qEnt, idx int, v float64) []qEnt {
 }
 
 // removeEnt deletes idx, which must be present, keeping the row sorted.
+//
+//simrank:noalloc
 func removeEnt(row []qEnt, idx int) []qEnt {
 	p := searchEnt(row, idx)
 	copy(row[p:], row[p+1:])
@@ -194,6 +208,8 @@ func removeEnt(row []qEnt, idx int) []qEnt {
 // deletion of (i, j) touches row i of Qᵀ plus the d_j entries of column j
 // (found by binary search in their rows), and row j of Q — O(d) work, no
 // O(m) rebuild, no sort.
+//
+//simrank:noalloc
 func (ws *Workspace) ApplyUpdate(up graph.Update) {
 	i, j := up.Edge.From, up.Edge.To
 	hasQt := ws.qt != nil // Qᵀ is lazy; when absent it is rebuilt from Q on demand
@@ -239,6 +255,8 @@ func (ws *Workspace) ApplyUpdate(up graph.Update) {
 // ΔQ = u·vᵀ of Theorem 1 into the workspace: v is written to ws.vws
 // (support order: i first, then I(j) ascending) and the single magnitude
 // of u = uv·e_j is returned. Allocation-free Decompose.
+//
+//simrank:noalloc
 func (ws *Workspace) decompose(up graph.Update) (uv float64, err error) {
 	i, j := up.Edge.From, up.Edge.To
 	if i < 0 || i >= ws.n || j < 0 || j >= ws.n {
@@ -281,6 +299,8 @@ func (ws *Workspace) decompose(up graph.Update) (uv float64, err error) {
 // mulQ computes dst = Q·x for dense x, gathering along the sorted rows of
 // the maintained Q — entrywise the same left-to-right accumulation as a
 // CSR mat-vec on the freshly built transition matrix.
+//
+//simrank:noalloc
 func (ws *Workspace) mulQ(dst, x []float64) {
 	for a := 0; a < ws.n; a++ {
 		var s float64
@@ -293,6 +313,8 @@ func (ws *Workspace) mulQ(dst, x []float64) {
 
 // scatterQ computes dst += Q·x for workspace vectors:
 // [Q·x]_a = Σ_{b ∈ I(a)} x_b / d_a, accumulated along the rows of Qᵀ.
+//
+//simrank:noalloc
 func (ws *Workspace) scatterQ(x, dst *wsVec) {
 	for _, b := range x.supp {
 		xb := x.vals[b]
@@ -307,10 +329,12 @@ func (ws *Workspace) scatterQ(x, dst *wsVec) {
 // The returned matrix aliases workspace storage and is valid until the
 // next ApplyUpdate; steady-state calls allocate nothing once the backing
 // arrays have grown to the graph's edge count.
+//
+//simrank:noalloc
 func (ws *Workspace) TransitionCSR() *matrix.CSR {
 	csr := &ws.qCSR
 	if csr.RowPtr == nil {
-		csr.RowPtr = make([]int, ws.n+1)
+		csr.RowPtr = make([]int, ws.n+1) //simrank:allocok first-use growth; steady state reuses the backing array
 	}
 	csr.RowsN, csr.ColsN = ws.n, ws.n
 	csr.ColIdx = csr.ColIdx[:0]
@@ -351,6 +375,8 @@ func (ws *Workspace) ensureDense() {
 
 // mRow returns the (zeroed) dense M row for a, drawing from the row pool,
 // and records a in rowSupp on first touch.
+//
+//simrank:noalloc
 func (ws *Workspace) mRow(a int) []float64 {
 	row := ws.mRows[a]
 	if row == nil {
@@ -358,7 +384,7 @@ func (ws *Workspace) mRow(a int) []float64 {
 			row = ws.rowPool[p-1]
 			ws.rowPool = ws.rowPool[:p-1]
 		} else {
-			row = make([]float64, ws.n)
+			row = make([]float64, ws.n) //simrank:allocok pool miss; the pool converges to the peak frontier and misses stop
 		}
 		ws.mRows[a] = row
 		ws.rowSupp = append(ws.rowSupp, a)

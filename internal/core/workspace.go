@@ -18,6 +18,8 @@ func newWsVec(n int) *wsVec {
 }
 
 // add accumulates v into entry i.
+//
+//simrank:noalloc
 func (w *wsVec) add(i int, v float64) {
 	if !w.mark[i] {
 		w.mark[i] = true
@@ -35,6 +37,8 @@ func (w *wsVec) nnz() int { return len(w.supp) }
 
 // compact drops support entries with |v| ≤ tol, so later iterations do
 // not propagate structural zeros.
+//
+//simrank:noalloc
 func (w *wsVec) compact(tol float64) {
 	kept := w.supp[:0]
 	for _, i := range w.supp {
@@ -50,6 +54,8 @@ func (w *wsVec) compact(tol float64) {
 }
 
 // reset clears the vector for reuse.
+//
+//simrank:noalloc
 func (w *wsVec) reset() {
 	for _, i := range w.supp {
 		w.vals[i] = 0
@@ -60,6 +66,8 @@ func (w *wsVec) reset() {
 
 // dot returns the inner product with another workspace vector, iterating
 // the smaller support.
+//
+//simrank:noalloc
 func (w *wsVec) dot(o *wsVec) float64 {
 	a, b := w, o
 	if len(b.supp) < len(a.supp) {
@@ -74,6 +82,8 @@ func (w *wsVec) dot(o *wsVec) float64 {
 
 // dotDense returns the inner product with a dense vector, iterating the
 // workspace support in insertion order.
+//
+//simrank:noalloc
 func (w *wsVec) dotDense(x []float64) float64 {
 	var s float64
 	for _, i := range w.supp {
@@ -97,6 +107,8 @@ func newPairBitset(n int) *pairBitset {
 }
 
 // set marks pair (a, b) and reports whether it was newly set.
+//
+//simrank:noalloc
 func (p *pairBitset) set(a, b int) bool {
 	idx := a*p.n + b
 	w, bit := idx/64, uint64(1)<<(idx%64)
@@ -112,6 +124,8 @@ func (p *pairBitset) set(a, b int) bool {
 }
 
 // reset clears every set bit for reuse, touching only dirty words.
+//
+//simrank:noalloc
 func (p *pairBitset) reset() {
 	for _, w := range p.dirty {
 		p.words[w] = 0

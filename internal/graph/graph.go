@@ -216,6 +216,7 @@ func (g *DiGraph) OutNeighbors(v int) []int {
 // EachInNeighbor calls fn for every in-neighbor of v (unordered).
 func (g *DiGraph) EachInNeighbor(v int, fn func(u int)) {
 	g.check(v)
+	//simrank:orderinvariant contract: callers fold commutatively (unordered by doc; audited in rankone.go, stats.go)
 	for u := range g.in[v] {
 		fn(u)
 	}
@@ -224,6 +225,7 @@ func (g *DiGraph) EachInNeighbor(v int, fn func(u int)) {
 // EachOutNeighbor calls fn for every out-neighbor of v (unordered).
 func (g *DiGraph) EachOutNeighbor(v int, fn func(u int)) {
 	g.check(v)
+	//simrank:orderinvariant contract: callers fold commutatively (unordered by doc; audited in rankone.go, stats.go)
 	for u := range g.out[v] {
 		fn(u)
 	}
@@ -231,6 +233,7 @@ func (g *DiGraph) EachOutNeighbor(v int, fn func(u int)) {
 
 func sortedKeys(s map[int]struct{}) []int {
 	out := make([]int, 0, len(s))
+	//simrank:orderinvariant collects keys only; sorted before return
 	for v := range s {
 		out = append(out, v)
 	}
@@ -248,6 +251,7 @@ func (g *DiGraph) Edges() []Edge { return sortedEdges(g.n, g.m, g.out) }
 func sortedEdges(n, m int, out []map[int]struct{}) []Edge {
 	es := make([]Edge, 0, m)
 	for i := 0; i < n; i++ {
+		//simrank:orderinvariant collects edges only; canonically sorted below
 		for j := range out[i] {
 			es = append(es, Edge{i, j})
 		}
@@ -265,6 +269,7 @@ func sortedEdges(n, m int, out []map[int]struct{}) []Edge {
 func (g *DiGraph) Clone() *DiGraph {
 	c := New(g.n)
 	for i := 0; i < g.n; i++ {
+		//simrank:orderinvariant set insertion; the resulting adjacency sets are order-free
 		for j := range g.out[i] {
 			c.AddEdge(i, j)
 		}
@@ -292,6 +297,7 @@ func (g *DiGraph) BackwardTransition() *matrix.CSR {
 			continue
 		}
 		w := 1 / float64(d)
+		//simrank:orderinvariant COO triples; NewCSR sorts by (i,j) before building
 		for i := range g.in[j] {
 			is = append(is, j)
 			js = append(js, i)
@@ -307,6 +313,7 @@ func (g *DiGraph) Adjacency() *matrix.CSR {
 	var is, js []int
 	var vs []float64
 	for i := 0; i < g.n; i++ {
+		//simrank:orderinvariant COO triples; NewCSR sorts by (i,j) before building
 		for j := range g.out[i] {
 			is = append(is, i)
 			js = append(js, j)

@@ -325,6 +325,7 @@ func (ix *Index) repair(j int) []int {
 	}
 
 	var dirtySet map[int]struct{}
+	//simrank:orderinvariant walks are independent: each (u,w) is resampled once from its own derived seeds, and posting order is unobservable (proven bit-identical to rebuild by the equivalence harness)
 	for wid, t0 := range aff {
 		u, w := int(wid/uint64(W)), int(wid%uint64(W))
 		ix.walksRepaired++
@@ -342,6 +343,7 @@ func (ix *Index) repair(j int) []int {
 		return nil
 	}
 	dirty := make([]int, 0, len(dirtySet))
+	//simrank:orderinvariant collects keys only; sorted before return
 	for u := range dirtySet {
 		dirty = append(dirty, u)
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package race
+
+// Enabled reports whether -race instrumentation is compiled in.
+const Enabled = false

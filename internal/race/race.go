@@ -1,0 +1,11 @@
+//go:build race
+
+// Package race exposes whether the binary was built with the race
+// detector, so tests can skip assertions the detector's instrumentation
+// invalidates (notably AllocsPerRun: shadow-memory bookkeeping
+// allocates, making "zero allocations" unprovable) — explicitly, with a
+// logged reason, instead of failing or silently passing.
+package race
+
+// Enabled reports whether -race instrumentation is compiled in.
+const Enabled = true

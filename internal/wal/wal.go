@@ -255,7 +255,8 @@ func Open(dir string, opts Options) (*WAL, error) {
 			return nil, fmt.Errorf("wal: open tail: %w", err)
 		}
 		if _, err := f.Seek(tail.bytes, io.SeekStart); err != nil {
-			f.Close()
+			// Error-path cleanup; the seek failure is what gets reported.
+			_ = f.Close()
 			return nil, fmt.Errorf("wal: seek tail: %w", err)
 		}
 		w.tail = f
@@ -348,7 +349,7 @@ func (w *WAL) validateSegment(s *segment, final bool, prevEpoch *uint64) error {
 	if err != nil {
 		return fmt.Errorf("wal: open segment: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //simrank:errok read-only validation pass; nothing written through this handle
 	info, err := f.Stat()
 	if err != nil {
 		return fmt.Errorf("wal: stat segment: %w", err)
@@ -437,7 +438,7 @@ func replaySegment(s segment, from uint64, prev *uint64, fn func(*Record) error)
 	if err != nil {
 		return fmt.Errorf("wal: open segment: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //simrank:errok read-only replay; nothing written through this handle
 	r := newRecordReader(io.LimitReader(f, s.bytes))
 	for {
 		rec, _, err := r.next()
@@ -525,7 +526,9 @@ func (w *WAL) rotateLocked(epoch uint64) error {
 	// The directory entry must survive a crash too, or the fsynced
 	// records sit in a file no one can find.
 	if err := syncPath(w.dir); err != nil {
-		f.Close()
+		// Error-path cleanup of the just-created segment; the dir-sync
+		// failure is what gets reported.
+		_ = f.Close()
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}
 	w.tail = f
@@ -800,6 +803,11 @@ func syncPath(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return f.Sync()
+	err = f.Sync()
+	if closeErr := f.Close(); err == nil {
+		// A Close failure here means the durability of the entry is
+		// unproven — report it like a failed fsync, never drop it.
+		err = closeErr
+	}
+	return err
 }

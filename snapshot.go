@@ -398,8 +398,13 @@ var (
 		if err != nil {
 			return err
 		}
-		defer d.Close()
-		return fileSync(d)
+		err = fileSync(d)
+		if closeErr := d.Close(); err == nil {
+			// A directory-handle Close failure is a durability signal
+			// like any other; do not let a deferred discard eat it.
+			err = closeErr
+		}
+		return err
 	}
 )
 
@@ -419,7 +424,9 @@ func WriteSnapshotFile(src SnapshotWriter, path string) (err error) {
 	tmp := f.Name()
 	defer func() {
 		if err != nil {
-			f.Close()
+			// Error-path cleanup of a temp file we are abandoning: the
+			// write already failed, so the Close result adds nothing.
+			_ = f.Close()
 			os.Remove(tmp)
 		}
 	}()
@@ -451,6 +458,6 @@ func ReadSnapshotFile(path string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //simrank:errok read-only handle; Close cannot corrupt an already-parsed snapshot
 	return ReadSnapshot(f)
 }

@@ -6,7 +6,19 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/race"
 )
+
+// skipIfRace makes the -race skip of AllocsPerRun assertions explicit:
+// race instrumentation allocates shadow-memory bookkeeping, so "zero
+// allocations" is unprovable under the detector. Logging the reason
+// keeps a -race CI lane honest about which guarantees it did not check.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("zero-allocation assertion skipped under -race: detector instrumentation allocates, so AllocsPerRun cannot prove the guarantee")
+	}
+}
 
 func randTestGraph(rng *rand.Rand, n, m int) *graph.DiGraph {
 	g := graph.New(n)
@@ -22,6 +34,7 @@ func randTestGraph(rng *rand.Rand, n, m int) *graph.DiGraph {
 // existing edges so graph-map and support capacities settle during the
 // warm-up pass.
 func TestEngineApplyZeroAllocs(t *testing.T) {
+	skipIfRace(t)
 	rng := rand.New(rand.NewSource(5))
 	g := randTestGraph(rng, 40, 160)
 	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10})
@@ -50,6 +63,7 @@ func TestEngineApplyZeroAllocs(t *testing.T) {
 // up-front batch validation must not build its overlay map for one
 // update.
 func TestEngineApplyBatchSingleZeroAllocs(t *testing.T) {
+	skipIfRace(t)
 	rng := rand.New(rand.NewSource(7))
 	g := randTestGraph(rng, 40, 160)
 	// RecomputeThreshold ≥ 1 keeps a singleton batch on the incremental
@@ -78,6 +92,7 @@ func TestEngineApplyBatchSingleZeroAllocs(t *testing.T) {
 // The unpruned path shares the same guarantee once its dense scratch is
 // warm.
 func TestEngineApplyZeroAllocsUnpruned(t *testing.T) {
+	skipIfRace(t)
 	rng := rand.New(rand.NewSource(13))
 	g := randTestGraph(rng, 30, 120)
 	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 8, DisablePruning: true})
@@ -104,6 +119,7 @@ func TestEngineApplyZeroAllocsUnpruned(t *testing.T) {
 // parallel path allocates O(Workers) per iteration for its goroutines;
 // that small constant is the documented trade.)
 func TestEngineRecomputeZeroAllocs(t *testing.T) {
+	skipIfRace(t)
 	rng := rand.New(rand.NewSource(29))
 	g := randTestGraph(rng, 50, 200)
 	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10, Workers: 1})
@@ -216,6 +232,10 @@ func TestSnapshotRestoreRebuildsWorkspace(t *testing.T) {
 		}
 	}
 	toggle() // builds the workspace lazily and warms it
+	if race.Enabled {
+		t.Log("zero-allocation assertion skipped under -race: detector instrumentation allocates; the rebuild path above still ran")
+		return
+	}
 	if allocs := testing.AllocsPerRun(20, toggle); allocs != 0 {
 		t.Fatalf("restored engine allocated %v times per warm toggle, want 0", allocs)
 	}
@@ -225,6 +245,7 @@ func TestSnapshotRestoreRebuildsWorkspace(t *testing.T) {
 // dirty-row invalidation is map deletes and counter bumps, so a warm
 // Apply stays at zero heap allocations with the cache on and populated.
 func TestEngineApplyZeroAllocsWithCache(t *testing.T) {
+	skipIfRace(t)
 	rng := rand.New(rand.NewSource(5))
 	g := randTestGraph(rng, 40, 160)
 	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10, TopKCacheRows: 32})
