@@ -41,6 +41,23 @@
 // crash recovery"), -wal-segment-bytes the rotation size. A SIGTERM
 // during restore or replay aborts the boot cleanly — nonzero exit, no
 // snapshot of half-replayed state.
+//
+// With -follow <leader-url> set, the process is a READ REPLICA: it
+// boots its base state as usual (same seed -graph/-n as the leader, or
+// a leader snapshot via -restore, plus its own local -wal-dir tail),
+// then tails the leader's GET /wal stream, applying each record through
+// the same code path crash recovery replays and publishing one MVCC
+// view per applied epoch — bit-identical to the leader at the same
+// epoch. Writes answer 409 with the leader's address; /readyz answers
+// 503 until the follower is connected and within -follow-lag epochs of
+// the leader; /stats grows replica_lag_epochs, replica_lag_ms,
+// records_streamed and reconnects. The leader paces heartbeat frames
+// every -wal-heartbeat; the follower reconnects (with backoff, from its
+// last applied epoch) when no frame arrives within -follow-stall. A
+// stream that cannot extend the local state — the leader regressed, or
+// truncated the needed records after a snapshot — exits the process
+// with an error: re-seed from a leader snapshot. See README
+// "Replication".
 package main
 
 import (
@@ -57,6 +74,7 @@ import (
 
 	simrank "repro"
 	"repro/internal/graph"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -93,6 +111,11 @@ func run() error {
 		walSync     = flag.String("wal-sync", "always", "wal fsync policy: always (every append), interval (background timer + ?wait=1 group commit) or none")
 		walSyncInt  = flag.Duration("wal-sync-interval", 50*time.Millisecond, "background fsync period under -wal-sync=interval")
 		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20, "wal segment rotation size in bytes")
+
+		follow       = flag.String("follow", "", "run as a read replica of this leader base URL (e.g. http://leader:8080)")
+		followLag    = flag.Uint64("follow-lag", 0, "replica readiness bound: /readyz answers 200 while the follower is within this many epochs of the leader")
+		followStall  = flag.Duration("follow-stall", 10*time.Second, "replica reconnects when no stream frame arrives for this long (keep above the leader's -wal-heartbeat)")
+		walHeartbeat = flag.Duration("wal-heartbeat", time.Second, "heartbeat interval on the GET /wal replication stream this process serves")
 	)
 	flag.Parse()
 
@@ -115,12 +138,24 @@ func run() error {
 			return fmt.Errorf("%s have no effect without -wal-dir", strings.Join(orphaned, ", "))
 		}
 	}
+	if *follow == "" {
+		var orphaned []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "follow-lag", "follow-stall":
+				orphaned = append(orphaned, "-"+f.Name)
+			}
+		})
+		if len(orphaned) > 0 {
+			return fmt.Errorf("%s have no effect without -follow", strings.Join(orphaned, ", "))
+		}
+	}
 
 	if *restore != "" {
 		// C, K and pruning are baked into the restored similarity state;
 		// silently running with different values than asked would be a
-		// trap, so combining them with -restore is an error. -workers is
-		// the one runtime knob, applied below.
+		// trap, so combining them with -restore is an error. -workers and
+		// -topk-cache are the runtime knobs, applied by bootEngine.
 		var clash []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -175,12 +210,14 @@ func run() error {
 	// traffic off. Every query endpoint answers 503 until the engine
 	// attaches with its first view published.
 	srv := server.NewPending(server.Config{
-		SnapshotPath: *snapshot,
-		QueueSize:    *queue,
-		MaxBatch:     *maxBatch,
-		BatchWindow:  *window,
-		MaxNodes:     *maxNodes,
-		WAL:          w,
+		SnapshotPath:      *snapshot,
+		QueueSize:         *queue,
+		MaxBatch:          *maxBatch,
+		BatchWindow:       *window,
+		MaxNodes:          *maxNodes,
+		WAL:               w,
+		HeartbeatInterval: *walHeartbeat,
+		Leader:            *follow,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
@@ -189,9 +226,15 @@ func run() error {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	// The runtime knobs (workers, cache) ride the options into every boot
+	// path — constructor for -graph/-n, ConfigureRestored for -restore —
+	// so that booting never advances the epoch: the serving epoch is
+	// exactly the restored/replayed history, which is what lets a read
+	// replica resume the leader's stream from its own local epoch.
 	eng, err := bootEngine(*restore, *graphPth, *nodes, simrank.Options{
 		C: *c, K: *k, DisablePruning: *noPrune, Workers: *workers,
 		Backend: simrank.Backend(*backend), ApproxWalks: *walks, ApproxSeed: *seed,
+		TopKCacheRows: *topkRows,
 	})
 	if err != nil {
 		httpSrv.Close()
@@ -218,12 +261,25 @@ func run() error {
 		}
 		eng.SetWAL(w)
 	}
-	if *restore != "" && *workers != 0 {
-		eng.SetWorkers(*workers)
+	if *follow != "" {
+		// Follower: tail the leader from the epoch the local boot reached
+		// (snapshot + local WAL replay), so a restart resumes mid-stream
+		// instead of refetching history. Run retries connection failures
+		// forever; the errors it RETURNS are terminal — the stream can no
+		// longer extend this state — and must kill the process loudly
+		// rather than let a silently-forked replica keep serving.
+		rep := replica.New(eng, replica.Options{
+			Leader:       *follow,
+			LagBound:     *followLag,
+			StallTimeout: *followStall,
+		})
+		srv.SetReplica(rep)
+		go func() {
+			if err := rep.Run(ctx); err != nil {
+				errc <- fmt.Errorf("replication: %w", err)
+			}
+		}()
 	}
-	// The cache is a runtime knob (never persisted), so it is applied the
-	// same way on every boot path, including -restore.
-	eng.SetTopKCacheRows(*topkRows)
 	srv.Attach(eng)
 	fmt.Printf("simrankd: engine ready (%d nodes, %d edges, %s store, %d store bytes, epoch %d)\n",
 		eng.N(), eng.M(), eng.Backend(), eng.StoreMemBytes(), eng.Epoch())
@@ -267,6 +323,10 @@ func bootEngine(restore, graphPath string, nodes int, opts simrank.Options) (*si
 		if err != nil {
 			return nil, fmt.Errorf("restore %s: %w", restore, err)
 		}
+		// Snapshots persist neither runtime knob; apply them with the
+		// boot-time (non-epoch-minting) form before the first view
+		// publishes.
+		eng.ConfigureRestored(opts.Workers, opts.TopKCacheRows)
 		return simrank.WrapEngine(eng), nil
 	case graphPath != "":
 		f, err := os.Open(graphPath)

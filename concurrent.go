@@ -58,6 +58,13 @@ type ConcurrentEngine struct {
 	// an epoch-tagged record before its view publishes. Writer-owned:
 	// only touched under writerMu.
 	wal *wal.WAL
+	// walNotify, when non-nil (SetWALNotify), observes every record the
+	// WAL accepted — the replication streaming hook: the server's hub
+	// fans each record out to GET /wal subscribers. Called under
+	// writerMu, after the durable append and before the view publishes,
+	// so a follower can never see a record the leader could not replay.
+	// Writer-owned.
+	walNotify func(*wal.Record)
 }
 
 // NewConcurrentEngine builds a concurrency-safe engine; see NewEngine.

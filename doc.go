@@ -87,6 +87,23 @@
 // mutation stays committed and visible and the writer receives
 // ErrDurability.
 //
+// # Replication
+//
+// Exact replay generalizes from crash recovery to read replicas: a
+// leader running with a WAL serves it over GET /wal?from=<epoch>
+// (backlog, then live tail, then heartbeats), and a follower
+// (internal/replica, simrankd's -follow flag) applies each record
+// through ApplyReplicated — the same path ReplayWAL uses — publishing
+// one MVCC view per applied epoch and re-logging to its own WAL so a
+// restart resumes from local disk. At the same epoch, leader and
+// follower answers are bit-identical on every backend; followers
+// reject writes with 409 naming the leader, gate /readyz on a lag
+// bound, and fail loudly (rather than fork silently) when the stream
+// can no longer extend their state. Epochs double as the replication
+// position, so boot-time knob configuration must not advance them —
+// that is what Engine.ConfigureRestored is for. See the README's
+// "Replication" section.
+//
 // # Similarity-store backends
 //
 // The n×n similarity matrix is the system's memory wall, so the engine

@@ -33,9 +33,27 @@ func (c *ConcurrentEngine) SetWAL(w *wal.WAL) {
 	c.wal = w
 }
 
+// SetWALNotify installs fn as the committed-record observer: after
+// every successful WAL append (and before the view exposing the record
+// publishes), fn receives the record that just became durable. This is
+// the replication streaming hook — internal/server's hub fans the
+// record out to GET /wal subscribers, so followers tail the live log
+// without polling the files. fn runs under the writer mutex and must
+// not block (the hub does non-blocking sends and drops slow
+// subscribers, who re-catch-up from the log). The record's Updates
+// slice is shared with the committing caller: consume it synchronously
+// or copy. Install alongside SetWAL; a nil fn stops notifications.
+func (c *ConcurrentEngine) SetWALNotify(fn func(*wal.Record)) {
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
+	c.walNotify = fn
+}
+
 // logRecord appends one committed mutation to the WAL (a no-op without
 // one). Called with writerMu held, after the mutation committed and
-// before its view publishes.
+// before its view publishes. A durably appended record is also handed
+// to the walNotify hook, so replication subscribers observe exactly
+// the records a crash recovery would replay.
 func (c *ConcurrentEngine) logRecord(kind wal.Kind, ups []Update, count int) error {
 	if c.wal == nil {
 		return nil
@@ -43,6 +61,9 @@ func (c *ConcurrentEngine) logRecord(kind wal.Kind, ups []Update, count int) err
 	rec := wal.Record{Epoch: c.eng.Epoch(), Kind: kind, Updates: ups, Count: count}
 	if err := c.wal.Append(&rec); err != nil {
 		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	if c.walNotify != nil {
+		c.walNotify(&rec)
 	}
 	return nil
 }
@@ -82,6 +103,36 @@ func (c *ConcurrentEngine) ReplayWAL(ctx context.Context, w *wal.WAL) (applied i
 		c.publish(false)
 	}
 	return applied, err
+}
+
+// ApplyReplicated applies one record received from a replication
+// stream (internal/replica's client feeds it records decoded off the
+// leader's GET /wal stream) and publishes the resulting state as one
+// new view at the record's epoch. It shares applyWALRecord with
+// ReplayWAL — the boot-time replay and the follower tail are ONE code
+// path, so a record kind added later cannot replay differently on
+// leader and follower — but differs from replay in two ways: each
+// record publishes its own view (followers serve reads per applied
+// epoch, not once per boot), and the record IS re-logged to the
+// follower's local WAL when one is installed (SetWAL), preserving the
+// leader's epochs, so a restarted follower resumes from its local
+// snapshot+log instead of refetching the stream from epoch 0.
+//
+// Errors are the caller's divergence signal: a record that fails to
+// apply, or whose epoch does not advance past the follower's state,
+// means the stream and the local state disagree — the follower must
+// stop loudly rather than fork silently. ErrDurability wraps a local
+// WAL append failure on a record that DID apply and publish.
+func (c *ConcurrentEngine) ApplyReplicated(rec *wal.Record) error {
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
+	c.prepareWrite()
+	if err := c.eng.applyWALRecord(rec); err != nil {
+		return err
+	}
+	werr := c.logRecord(rec.Kind, rec.Updates, rec.Count)
+	c.publish(false)
+	return werr
 }
 
 // applyWALRecord applies one logged operation to the engine and adopts

@@ -633,6 +633,21 @@ func (e *Engine) SetTopKCacheRows(rows int) {
 	e.epoch++ // a new (cold) cache is reader-visible state
 }
 
+// ConfigureRestored applies the runtime knobs a snapshot does not
+// persist — batch parallelism (workers ≤ 0 keeps the restored default)
+// and the query cache — WITHOUT advancing the epoch: the boot-time form
+// of SetWorkers/SetTopKCacheRows, for an engine that has not yet served
+// a reader. Read replicas in particular must configure themselves this
+// way: a replica's epoch sequence is owned by the leader's record
+// stream, and an epoch minted locally at boot would collide with — and
+// silently swallow — the leader's next record (see cmd/simrankd).
+func (e *Engine) ConfigureRestored(workers, topkRows int) {
+	if workers > 0 {
+		e.opts.Workers = workers
+	}
+	e.setTopKCacheRows(topkRows)
+}
+
 // setTopKCacheRows is SetTopKCacheRows without the epoch bump — the
 // constructor's form, so a freshly built engine starts at epoch 0.
 func (e *Engine) setTopKCacheRows(rows int) {

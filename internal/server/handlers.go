@@ -130,14 +130,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // GET /readyz — readiness: 503 until the engine is booted (-restore
 // replayed, initial batch computation done) and its first MVCC view is
-// published; 200 with the serving epoch afterwards. Load balancers and
-// rollout gates watch this one.
+// published; 200 with the serving epoch afterwards. On a read replica
+// the gate is stricter: the follower must also be connected to its
+// leader and within the configured lag bound (replica.CaughtUp), so a
+// follower that is alive but stale — still catching up, or cut off from
+// the leader — is held out of rotation while continuing to serve
+// explicit reads. Load balancers and rollout gates watch this one.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.engineReady() {
 		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Ready: false})
 		return
 	}
-	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Epoch: s.eng.ViewInfo().Epoch})
+	resp := ReadyResponse{Ready: true, Epoch: s.eng.ViewInfo().Epoch}
+	if rep := s.cfg.Replica; rep != nil {
+		rs := rep.Stats()
+		resp.ReplicaLagEpochs = rs.LagEpochs
+		resp.ReplicaConnected = rs.Connected
+		if !rep.CaughtUp() {
+			resp.Ready = false
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rejectOnFollower answers writes arriving at a read replica: 409 with
+// the leader's address in the body, so a misconfigured client learns
+// where writes belong instead of silently forking the follower from the
+// stream it replays.
+func (s *Server) rejectOnFollower(w http.ResponseWriter) bool {
+	if s.cfg.Leader == "" {
+		return false
+	}
+	writeJSON(w, http.StatusConflict, ErrorResponse{
+		Error:  "this server is a read replica; send writes to the leader",
+		Leader: s.cfg.Leader,
+	})
+	return true
 }
 
 // POST /updates[?wait=1] — enqueue one update or an array of them onto
@@ -146,6 +176,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // and answers 200 (or 409 if the engine rejected the update, e.g. an
 // insert of an edge that already exists).
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		status := http.StatusBadRequest
@@ -211,6 +244,9 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 // before this call may still be rejected. The supported pattern is the
 // other direction — POST /nodes, then write to the returned ids.
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	var req NodesRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	simrank "repro"
+	"repro/internal/replica"
 	"repro/internal/wal"
 )
 
@@ -39,12 +40,28 @@ type Config struct {
 	MaxNodes int
 	// WAL, when non-nil, is the write-ahead log the caller installed on
 	// the engine (ConcurrentEngine.SetWAL) before Attach. The server
-	// uses the handle for three things: the /stats wal_* gauges, the
-	// ?wait=1 group-commit Sync under the interval fsync policy, and
+	// uses the handle for four things: the /stats wal_* gauges, the
+	// ?wait=1 group-commit Sync under the interval fsync policy,
 	// truncating sealed segments once a snapshot has durably captured
-	// their epochs. The server never closes it — the owner does, after
-	// Close has drained the last write.
+	// their epochs, and serving the GET /wal replication stream (with
+	// Attach wiring the engine's SetWALNotify hook into the stream hub).
+	// The server never closes it — the owner does, after Close has
+	// drained the last write.
 	WAL *wal.WAL
+	// HeartbeatInterval paces the liveness frames GET /wal interleaves
+	// into an idle stream (default 1s). Followers size their stall
+	// timeout above this.
+	HeartbeatInterval time.Duration
+	// Leader, when non-empty, marks this server a read replica following
+	// that base URL: POST /updates and POST /nodes answer 409 carrying
+	// the leader's address (writes belong on the leader; the follower
+	// would fork from the stream it replays), and POST /snapshot stays
+	// available for seeding local restarts.
+	Leader string
+	// Replica, set on a follower alongside Leader, is the stream client
+	// whose lag gates /readyz (503 until CaughtUp) and whose gauges feed
+	// the /stats replica_* fields.
+	Replica *replica.Replica
 }
 
 // defaultMaxNodes keeps the dense n×n similarity matrix at ≤ 2 GiB
@@ -68,6 +85,11 @@ type Server struct {
 	mux   *http.ServeMux
 	cfg   Config
 	start time.Time
+
+	// walHub fans committed records out to GET /wal subscribers; always
+	// constructed (the handler 409s without a WAL, so an unused hub is
+	// just an empty map).
+	walHub *walHub
 
 	// nodesMu serializes POST /nodes so the MaxNodes bound is
 	// check-then-act safe: the engine's own lock only covers the growth,
@@ -105,8 +127,9 @@ func NewPending(cfg Config) *Server {
 		cfg.MaxNodes = defaultMaxNodes
 	}
 	s := &Server{
-		cfg:   cfg,
-		start: time.Now(),
+		cfg:    cfg,
+		start:  time.Now(),
+		walHub: newWALHub(),
 	}
 	s.mux = http.NewServeMux()
 	// Every engine-backed endpoint goes through requireReady, so a
@@ -121,6 +144,7 @@ func NewPending(cfg Config) *Server {
 	s.mux.HandleFunc("POST /updates", s.requireReady(s.handleUpdates))
 	s.mux.HandleFunc("POST /nodes", s.requireReady(s.handleNodes))
 	s.mux.HandleFunc("POST /snapshot", s.requireReady(s.handleSnapshot))
+	s.mux.HandleFunc("GET /wal", s.requireReady(s.handleWALStream))
 	return s
 }
 
@@ -134,6 +158,12 @@ func (s *Server) Attach(eng *simrank.ConcurrentEngine) {
 		panic("server: Attach called twice")
 	}
 	s.eng = eng
+	if s.cfg.WAL != nil {
+		// Replication tail: every durably appended record reaches the
+		// GET /wal subscribers. The hub's publish is non-blocking, as the
+		// hook contract (it runs under the engine's writer mutex) demands.
+		eng.SetWALNotify(s.walHub.publish)
+	}
 	var sync func() error
 	if w := s.cfg.WAL; w != nil && w.Policy() == wal.SyncInterval {
 		// Group commit: ?wait=1 acknowledgements force the cycle's record
@@ -144,6 +174,18 @@ func (s *Server) Attach(eng *simrank.ConcurrentEngine) {
 	}
 	s.pipe = newPipeline(eng.ApplyBatch, sync, s.cfg.QueueSize, s.cfg.MaxBatch, s.cfg.BatchWindow)
 	s.ready.Store(true)
+}
+
+// SetReplica installs the follower's stream client on a pending server
+// — the replica needs the booted engine, which NewPending by definition
+// does not have yet. Call before Attach: handlers only dereference
+// cfg.Replica after observing ready, and Attach's ready flip publishes
+// this write to them. (New-path callers set Config.Replica directly.)
+func (s *Server) SetReplica(rep *replica.Replica) {
+	if s.ready.Load() {
+		panic("server: SetReplica after Attach")
+	}
+	s.cfg.Replica = rep
 }
 
 // errNotReady answers every engine-backed endpoint before Attach.
@@ -263,6 +305,16 @@ func (s *Server) Stats() StatsResponse {
 		resp.WALBytes = ws.Bytes
 		resp.WALFsyncs = ws.Fsyncs
 		resp.WALFailures = st.walFailures.Load()
+		resp.WALSubscribers = s.walHub.subscribers()
+	}
+	if rep := s.cfg.Replica; rep != nil {
+		rs := rep.Stats()
+		resp.Leader = s.cfg.Leader
+		resp.ReplicaLagEpochs = rs.LagEpochs
+		resp.ReplicaLagMS = rs.LagMS
+		resp.RecordsStreamed = rs.Records
+		resp.Reconnects = rs.Reconnects
+		resp.ReplicaConnected = rs.Connected
 	}
 	return resp
 }

@@ -193,20 +193,48 @@ type StatsResponse struct {
 	WALBytes    int64  `json:"wal_bytes"`
 	WALFsyncs   int64  `json:"wal_fsyncs"`
 	WALFailures int64  `json:"wal_failures"`
+	// WALSubscribers counts live GET /wal replication streams (0 without
+	// a WAL).
+	WALSubscribers int64 `json:"wal_subscribers,omitempty"`
+
+	// Replication gauges, populated only on a follower (-follow; Leader
+	// names who it follows). ReplicaLagEpochs and ReplicaLagMS measure
+	// how far behind the leader's last known committed epoch this
+	// follower's serving view is — in versions and in wall time
+	// continuously spent behind; RecordsStreamed counts records applied
+	// off the stream this process lifetime (a restarted follower that
+	// resumed from its local snapshot+log shows a small number here, not
+	// the leader's full history); Reconnects counts stream re-dials — a
+	// climbing value with flat RecordsStreamed is a stalled or flapping
+	// leader.
+	Leader           string  `json:"leader,omitempty"`
+	ReplicaLagEpochs uint64  `json:"replica_lag_epochs,omitempty"`
+	ReplicaLagMS     float64 `json:"replica_lag_ms,omitempty"`
+	RecordsStreamed  int64   `json:"records_streamed,omitempty"`
+	Reconnects       int64   `json:"reconnects,omitempty"`
+	ReplicaConnected bool    `json:"replica_connected,omitempty"`
 
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // ReadyResponse answers GET /readyz: Ready is false (with a 503) until
 // the engine is booted/restored and its first MVCC view is published,
-// after which Epoch reports the serving view's version. /healthz stays
-// pure liveness — a booting process is alive but not ready.
+// after which Epoch reports the serving view's version. On a follower,
+// Ready additionally requires the replication stream to be connected
+// and within the configured lag bound; the replica fields report the
+// gate's inputs either way. /healthz stays pure liveness — a booting
+// process is alive but not ready.
 type ReadyResponse struct {
 	Ready bool   `json:"ready"`
 	Epoch uint64 `json:"epoch"`
+
+	ReplicaLagEpochs uint64 `json:"replica_lag_epochs,omitempty"`
+	ReplicaConnected bool   `json:"replica_connected,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
+// ErrorResponse is the body of every non-2xx answer. Leader is set on
+// the 409 a read replica answers to writes: the base URL they belong at.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Leader string `json:"leader,omitempty"`
 }

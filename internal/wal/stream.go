@@ -1,0 +1,65 @@
+// Replication streaming: the leader serves its log over HTTP
+// (GET /wal?from=<epoch>, see internal/server) as a sequence of frames
+// in EXACTLY the on-disk record encoding — u32 length | u32 crc |
+// payload — so a follower replays the same bytes a local crash
+// recovery would, and the bit-equality argument for WAL replay carries
+// over to replication unchanged. This file holds the exported codec
+// both ends share: EncodeFrame for the leader's streaming handler,
+// FrameReader for the follower's client, and the stream-only heartbeat
+// record that carries the leader's committed epoch when no mutations
+// are flowing (the follower's lag and liveness signal).
+
+package wal
+
+import (
+	"fmt"
+	"io"
+)
+
+// KindHeartbeat is a stream-only frame: it carries the leader's newest
+// committed WAL epoch and no body, repeated on a timer so an idle
+// leader is distinguishable from a dead one and a follower can compute
+// its lag even when no records flow. Heartbeats are never stored —
+// Append rejects them — and their epoch may repeat (they report a
+// position, they do not advance one).
+const KindHeartbeat Kind = 255
+
+// Heartbeat builds a stream heartbeat frame reporting epoch as the
+// leader's newest committed record position.
+func Heartbeat(epoch uint64) *Record {
+	return &Record{Epoch: epoch, Kind: KindHeartbeat}
+}
+
+// EncodeFrame appends the framed wire encoding of rec (identical to
+// the on-disk record encoding) onto b and returns the extended slice.
+func EncodeFrame(b []byte, rec *Record) []byte {
+	return appendRecord(b, rec)
+}
+
+// FrameReader decodes a stream of framed records from r — the client
+// half of the replication stream. Next returns io.EOF on a clean end
+// exactly at a frame boundary; any damage (a torn frame, a checksum
+// mismatch, an undecodable payload) is an ordinary error, since on a
+// byte stream there is no tail to truncate — the connection is broken
+// and the follower reconnects from its last applied epoch.
+type FrameReader struct {
+	rr *recordReader
+}
+
+// NewFrameReader wraps r in a frame decoder.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{rr: newRecordReader(r)}
+}
+
+// Next returns the next framed record, or io.EOF at a clean end of
+// stream.
+func (fr *FrameReader) Next() (*Record, error) {
+	rec, _, err := fr.rr.next()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wal: stream frame: %w", err)
+	}
+	return rec, nil
+}

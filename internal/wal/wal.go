@@ -88,6 +88,8 @@ func (k Kind) String() string {
 		return "addnodes"
 	case KindRecompute:
 		return "recompute"
+	case KindHeartbeat:
+		return "heartbeat"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -184,6 +186,13 @@ type Stats struct {
 	// TornBytes is how many trailing bytes recovery truncated away at
 	// Open — nonzero exactly when the previous process died mid-append.
 	TornBytes int64
+	// TruncatedThrough is the highest record epoch removed by Truncate
+	// over this handle's lifetime (0 when nothing was dropped): the
+	// replication streaming floor. A follower asking for records at or
+	// below it cannot be served from this log and must re-seed from a
+	// snapshot; the in-memory bound resets at restart, when the oldest
+	// retained segment becomes the only (weaker) signal.
+	TruncatedThrough uint64
 }
 
 const (
@@ -224,6 +233,7 @@ type WAL struct {
 	appends   atomic.Int64
 	fsyncs    atomic.Int64
 	tornBytes int64
+	truncated uint64 // highest epoch dropped by Truncate (see Stats)
 
 	// buf is the reused append encoding buffer.
 	buf []byte
@@ -471,6 +481,11 @@ func (w *WAL) Append(rec *Record) error {
 	if w.closed {
 		return ErrClosed
 	}
+	if rec.Kind == KindHeartbeat {
+		// Heartbeats are stream liveness frames, not operations: storing
+		// one would poison replay (applyWALRecord has nothing to apply).
+		return fmt.Errorf("wal: refusing to append a stream heartbeat frame")
+	}
 	if rec.Epoch <= w.last {
 		return fmt.Errorf("wal: record epoch %d does not advance past %d", rec.Epoch, w.last)
 	}
@@ -603,6 +618,9 @@ func (w *WAL) Truncate(upto uint64) error {
 			if err := os.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: truncate: %w", err)
 			}
+			if s.lastEpoch > w.truncated {
+				w.truncated = s.lastEpoch
+			}
 			removed = true
 			continue
 		}
@@ -622,11 +640,12 @@ func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	st := Stats{
-		Segments:  len(w.segments),
-		LastEpoch: w.last,
-		Appends:   w.appends.Load(),
-		Fsyncs:    w.fsyncs.Load(),
-		TornBytes: w.tornBytes,
+		Segments:         len(w.segments),
+		LastEpoch:        w.last,
+		Appends:          w.appends.Load(),
+		Fsyncs:           w.fsyncs.Load(),
+		TornBytes:        w.tornBytes,
+		TruncatedThrough: w.truncated,
 	}
 	for _, s := range w.segments {
 		st.Bytes += s.bytes
@@ -731,6 +750,12 @@ func decodePayload(p []byte) (*Record, error) {
 	case KindRecompute:
 		if len(body) != 0 {
 			return nil, fmt.Errorf("recompute record carries %d unexpected body bytes", len(body))
+		}
+	case KindHeartbeat:
+		// Stream-only (Append refuses it); decoded here so FrameReader
+		// hands it to the replication client like any other frame.
+		if len(body) != 0 {
+			return nil, fmt.Errorf("heartbeat frame carries %d unexpected body bytes", len(body))
 		}
 	default:
 		return nil, fmt.Errorf("unknown record kind %d", uint8(rec.Kind))
