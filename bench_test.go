@@ -10,6 +10,7 @@ package simrank
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/batch"
@@ -502,6 +503,43 @@ func BenchmarkEngineUpdateStream(b *testing.B) {
 			g.Apply(ins)
 		}
 	})
+	// The row-parallel sweep: one engine per graph size, resized between
+	// sub-benchmarks with SetWorkers so the expensive batch build runs
+	// once. The n=4096 row is where the ISSUE's ≥2× target at workers=4
+	// is measured (on a multi-core runner; a single-core box serializes
+	// the fan-out and should show ≈1×, never a regression cliff).
+	for _, n := range []int{1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := gen.PrefAttach(n, 4, 29)
+			eng, err := NewEngine(g.N(), g.Edges(), Options{C: exp.DampingC, K: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			streamEdges := g.Edges()[:8]
+			toggle := func() {
+				for _, e := range streamEdges {
+					if _, err := eng.Delete(e.From, e.To); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.Insert(e.From, e.To); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				eng.SetWorkers(workers)
+				toggle() // re-warm the pool and per-worker scratch at this width
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						toggle()
+					}
+				})
+			}
+		})
+	}
 }
 
 // BenchmarkEngineRecompute measures the batch safety valve through the

@@ -1,0 +1,399 @@
+// Command simrankbench is the serving load harness: it drives a running
+// simrankd with a mixed read/write workload and reports client-observed
+// latency percentiles per class — the numbers that prove (or disprove)
+// a serving-path change like the row-parallel update write-back.
+//
+// The harness is closed-loop by default: -conns goroutines each keep one
+// request in flight, so measured latency is pure service latency. With
+// -rate > 0 each connection paces itself to its share of the target
+// op rate (an open-ish loop), so queueing delay shows up in the tail the
+// way a real client would see it.
+//
+// Reads are GET /similarity and GET /topkfor (50/50); writes are
+// POST /updates?wait=1 — acknowledged only after the update's batch has
+// committed and its view published, so the write percentiles include
+// the full coalescing-pipeline + incremental-update cost. Each
+// connection mutates only edges whose source lies in its own slice of
+// the node space and tracks what it inserted, so requests never
+// conflict across connections and deletes always target live edges.
+//
+// Output is one JSON document (default BENCH_serving.json) with the
+// latency summary per class plus the server's final /stats snapshot,
+// so the run's server-side gauges (update_p50_us, coalescing factor,
+// worker count) land next to the client-side numbers they explain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"slices"
+	"sync"
+	"time"
+)
+
+type benchConfig struct {
+	Addr       string  `json:"addr"`
+	Conns      int     `json:"conns"`
+	Duration   string  `json:"duration"`
+	Warmup     string  `json:"warmup"`
+	WriteRatio float64 `json:"write_ratio"`
+	Rate       float64 `json:"rate_ops_per_sec,omitempty"`
+	TopK       int     `json:"topk"`
+	Seed       int64   `json:"seed"`
+}
+
+// classSummary is the per-request-class result block.
+type classSummary struct {
+	Count     int     `json:"count"`
+	Errors    int     `json:"errors"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Us     int64   `json:"p50_us"`
+	P95Us     int64   `json:"p95_us"`
+	P99Us     int64   `json:"p99_us"`
+	MaxUs     int64   `json:"max_us"`
+}
+
+type benchReport struct {
+	Config      benchConfig     `json:"config"`
+	Nodes       int             `json:"nodes"`
+	DurationSec float64         `json:"duration_sec"`
+	Reads       classSummary    `json:"reads"`
+	Writes      classSummary    `json:"writes"`
+	ServerStats json.RawMessage `json:"server_stats"`
+}
+
+// connResult is one connection's raw measurements, merged after the run.
+type connResult struct {
+	readUs, writeUs       []int64
+	readErrs, writeErrs   int
+	readCount, writeCount int
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "simrankd base URL")
+		conns      = flag.Int("conns", 8, "concurrent connections (one request in flight each)")
+		duration   = flag.Duration("duration", 30*time.Second, "measured run length")
+		warmup     = flag.Duration("warmup", 2*time.Second, "load before measurement starts (excluded from stats)")
+		writeRatio = flag.Float64("write-ratio", 0.1, "fraction of operations that are writes (POST /updates?wait=1)")
+		rate       = flag.Float64("rate", 0, "target total ops/sec across all connections (0 = closed loop)")
+		topk       = flag.Int("topk", 10, "k for the /topkfor read mix")
+		seed       = flag.Int64("seed", 1, "workload RNG seed (runs are reproducible per seed)")
+		out        = flag.String("out", "BENCH_serving.json", "report output path (- for stdout)")
+		readyWait  = flag.Duration("ready-wait", 60*time.Second, "how long to poll /readyz before giving up")
+	)
+	flag.Parse()
+	if *conns <= 0 || *writeRatio < 0 || *writeRatio > 1 {
+		fmt.Fprintln(os.Stderr, "simrankbench: need -conns > 0 and -write-ratio in [0,1]")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitReady(client, *addr, *readyWait); err != nil {
+		fmt.Fprintf(os.Stderr, "simrankbench: %v\n", err)
+		os.Exit(1)
+	}
+	n, err := nodeCount(client, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simrankbench: %v\n", err)
+		os.Exit(1)
+	}
+	if n < 2 {
+		fmt.Fprintf(os.Stderr, "simrankbench: server graph has %d nodes; boot simrankd with -n or -graph first\n", n)
+		os.Exit(1)
+	}
+
+	// Per-connection pacing interval for the open loop: each connection
+	// carries an equal share of the target rate.
+	var pace time.Duration
+	if *rate > 0 {
+		pace = time.Duration(float64(*conns) / *rate * float64(time.Second))
+	}
+
+	// Workers persist across the warmup and measured phases: their RNGs
+	// and live-edge sets carry over, so the measured run continues the
+	// warm stream instead of replaying it (a replay would re-insert the
+	// warmup's edges and be rejected as duplicates).
+	results := make([]connResult, *conns)
+	workers := make([]*worker, *conns)
+	for id := 0; id < *conns; id++ {
+		workers[id] = &worker{
+			client: client,
+			addr:   *addr,
+			n:      n,
+			conns:  *conns,
+			id:     id,
+			topk:   *topk,
+			ratio:  *writeRatio,
+			rng:    rand.New(rand.NewSource(*seed + int64(id)*7919)),
+			res:    &results[id],
+		}
+	}
+	run := func(d time.Duration, measure bool) {
+		deadline := time.Now().Add(d)
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.loop(deadline, pace, measure)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	if *warmup > 0 {
+		run(*warmup, false)
+	}
+	start := time.Now()
+	run(*duration, true)
+	elapsed := time.Since(start)
+
+	var reads, writes []int64
+	var report benchReport
+	for i := range results {
+		r := &results[i]
+		reads = append(reads, r.readUs...)
+		writes = append(writes, r.writeUs...)
+		report.Reads.Errors += r.readErrs
+		report.Writes.Errors += r.writeErrs
+		report.Reads.Count += r.readCount
+		report.Writes.Count += r.writeCount
+	}
+	summarize(&report.Reads, reads, elapsed)
+	summarize(&report.Writes, writes, elapsed)
+	report.Config = benchConfig{
+		Addr: *addr, Conns: *conns, Duration: duration.String(),
+		Warmup: warmup.String(), WriteRatio: *writeRatio, Rate: *rate,
+		TopK: *topk, Seed: *seed,
+	}
+	report.Nodes = n
+	report.DurationSec = elapsed.Seconds()
+	if body, err := get(client, *addr+"/stats"); err == nil {
+		report.ServerStats = json.RawMessage(body)
+	}
+
+	enc, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simrankbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simrankbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"simrankbench: %d reads (p50 %dµs p99 %dµs), %d acked writes (p50 %dµs p99 %dµs) in %.1fs\n",
+		report.Reads.Count, report.Reads.P50Us, report.Reads.P99Us,
+		report.Writes.Count, report.Writes.P50Us, report.Writes.P99Us,
+		elapsed.Seconds())
+}
+
+// worker is one closed-loop connection: it owns the edges whose source
+// node falls in its residue class (source % conns == id), so its
+// inserts and deletes never conflict with another connection's.
+type worker struct {
+	client *http.Client
+	addr   string
+	n      int
+	conns  int
+	id     int
+	topk   int
+	ratio  float64
+	rng    *rand.Rand
+	res    *connResult
+	// live is this connection's inserted-and-not-yet-deleted edge list,
+	// with a membership set so inserts never re-add a live edge (the
+	// server rejects duplicate inserts, and a rejection is a harness bug,
+	// not a server latency sample).
+	live    [][2]int
+	liveSet map[[2]int]bool
+}
+
+func (w *worker) loop(deadline time.Time, pace time.Duration, measure bool) {
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		if pace > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(pace)
+		}
+		if w.rng.Float64() < w.ratio {
+			w.write(measure)
+		} else {
+			w.read(measure)
+		}
+	}
+}
+
+// ownSource maps a random draw onto this connection's residue class.
+func (w *worker) ownSource() int {
+	span := (w.n + w.conns - 1 - w.id) / w.conns // sources ≡ id (mod conns)
+	if span <= 0 {
+		return w.id % w.n
+	}
+	return w.rng.Intn(span)*w.conns + w.id
+}
+
+func (w *worker) write(measure bool) {
+	var body []byte
+	// Grow the live set until it holds a few edges, then hover: half the
+	// writes insert, half delete, so the graph neither empties nor
+	// densifies over a long run.
+	if w.liveSet == nil {
+		w.liveSet = make(map[[2]int]bool)
+	}
+	e, insert := w.pickEdge()
+	if insert {
+		w.live = append(w.live, e)
+		w.liveSet[e] = true
+		body = fmt.Appendf(nil, `{"from":%d,"to":%d,"op":"insert"}`, e[0], e[1])
+	} else {
+		body = fmt.Appendf(nil, `{"from":%d,"to":%d,"op":"delete"}`, e[0], e[1])
+	}
+	start := time.Now()
+	resp, err := w.client.Post(w.addr+"/updates?wait=1", "application/json", bytes.NewReader(body))
+	us := time.Since(start).Microseconds()
+	ok := err == nil && resp.StatusCode < 300
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if !measure {
+		return
+	}
+	w.res.writeCount++
+	if ok {
+		w.res.writeUs = append(w.res.writeUs, us)
+	} else {
+		w.res.writeErrs++
+	}
+}
+
+// pickEdge chooses the next mutation: insert a fresh edge (returned
+// with insert=true, already guaranteed absent from the live set) or
+// delete a live one (removed from the tracking structures here; the
+// caller just sends it).
+func (w *worker) pickEdge() (e [2]int, insert bool) {
+	if len(w.live) < 4 || (len(w.live) < 64 && w.rng.Intn(2) == 0) {
+		for tries := 0; tries < 16; tries++ {
+			from := w.ownSource()
+			to := w.rng.Intn(w.n - 1)
+			if to >= from {
+				to++
+			}
+			e = [2]int{from, to}
+			if !w.liveSet[e] {
+				return e, true
+			}
+		}
+		// The residue class is saturated near the hover cap; fall through
+		// to a delete, which is always valid.
+	}
+	i := w.rng.Intn(len(w.live))
+	e = w.live[i]
+	w.live[i] = w.live[len(w.live)-1]
+	w.live = w.live[:len(w.live)-1]
+	delete(w.liveSet, e)
+	return e, false
+}
+
+func (w *worker) read(measure bool) {
+	var url string
+	if w.rng.Intn(2) == 0 {
+		a, b := w.rng.Intn(w.n), w.rng.Intn(w.n)
+		url = fmt.Sprintf("%s/similarity?a=%d&b=%d", w.addr, a, b)
+	} else {
+		url = fmt.Sprintf("%s/topkfor?node=%d&k=%d", w.addr, w.rng.Intn(w.n), w.topk)
+	}
+	start := time.Now()
+	resp, err := w.client.Get(url)
+	us := time.Since(start).Microseconds()
+	ok := err == nil && resp.StatusCode < 300
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if !measure {
+		return
+	}
+	w.res.readCount++
+	if ok {
+		w.res.readUs = append(w.res.readUs, us)
+	} else {
+		w.res.readErrs++
+	}
+}
+
+func summarize(cs *classSummary, us []int64, elapsed time.Duration) {
+	cs.OpsPerSec = float64(cs.Count) / elapsed.Seconds()
+	if len(us) == 0 {
+		return
+	}
+	slices.Sort(us)
+	cs.P50Us = us[(len(us)-1)*50/100]
+	cs.P95Us = us[(len(us)-1)*95/100]
+	cs.P99Us = us[(len(us)-1)*99/100]
+	cs.MaxUs = us[len(us)-1]
+}
+
+func waitReady(client *http.Client, addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(addr + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s not ready after %s: %v", addr, wait, err)
+			}
+			return fmt.Errorf("server at %s not ready after %s", addr, wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func nodeCount(client *http.Client, addr string) (int, error) {
+	body, err := get(client, addr+"/stats")
+	if err != nil {
+		return 0, err
+	}
+	var st struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return 0, fmt.Errorf("decoding /stats: %w", err)
+	}
+	return st.Nodes, nil
+}
+
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}

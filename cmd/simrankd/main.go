@@ -99,7 +99,7 @@ func run() error {
 		backend  = flag.String("backend", "dense", "similarity store: dense, packed or approx")
 		walks    = flag.Int("approx-walks", 128, "approx backend: walks per pair (stderr shrinks as 1/sqrt)")
 		seed     = flag.Int64("approx-seed", 1, "approx backend: derived-seed root for the stored walks")
-		workers  = flag.Int("workers", 0, "batch-computation goroutines (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "batch-computation and incremental-update goroutines (0 = auto: GOMAXPROCS, serial updates below 2048 nodes)")
 		topkRows = flag.Int("topk-cache", 4096, "rows retained by the dirty-row top-k query cache (0 disables)")
 		queue    = flag.Int("queue", 1024, "write-pipeline queue size (requests)")
 		maxBatch = flag.Int("max-batch", 1<<16, "max updates coalesced per drain cycle")

@@ -393,13 +393,27 @@ func (c *ConcurrentEngine) AddNodes(count int) (int, error) {
 // Options returns the effective options of the current view.
 func (c *ConcurrentEngine) Options() Options { return c.view.Load().opts }
 
-// SetWorkers changes the batch-computation parallelism under the writer
-// mutex; see Engine.SetWorkers.
+// SetWorkers changes the batch-computation and update-path parallelism
+// under the writer mutex; see Engine.SetWorkers. The mutex is what
+// makes a live SetWorkers safe against a concurrent update stream: the
+// per-worker scratch and the worker pool are resized strictly between
+// updates, never during one.
 func (c *ConcurrentEngine) SetWorkers(workers int) {
 	c.writerMu.Lock()
 	defer c.writerMu.Unlock()
 	c.eng.SetWorkers(workers)
 	c.publish(false)
+}
+
+// Close releases the wrapped engine's background resources (the update
+// worker pool) under the writer mutex; see Engine.Close. The facade
+// remains usable afterwards — the pool respawns on the next parallel
+// update — so Close is the "quiesce now" hook for tests and shutdown
+// paths, not a terminal state.
+func (c *ConcurrentEngine) Close() {
+	c.writerMu.Lock()
+	defer c.writerMu.Unlock()
+	c.eng.Close()
 }
 
 // CacheStats returns the query cache's counters for the current view's

@@ -62,10 +62,20 @@ type Options struct {
 	RecomputeThreshold float64
 	// Workers bounds the goroutines used by the batch computations
 	// (NewEngine's initial scores, Recompute, and ApplyBatch's recompute
-	// crossover). 0 selects GOMAXPROCS; 1 forces the sequential path,
-	// which additionally keeps a warm Recompute allocation-free. The
-	// result is bit-identical for every value — the serial and parallel
-	// paths share one row-partitioned kernel. Not persisted in snapshots.
+	// crossover) AND by the incremental update path: the Inc-uSR/Inc-SR
+	// mat-vecs, M-accumulations and S write-backs row-partition across a
+	// persistent worker pool, and the approx backend fans walk repair
+	// across affected walks. 0 selects GOMAXPROCS — for updates only on
+	// graphs large enough to win (n ≥ 2048; below that auto stays
+	// serial, since fan-out overhead would swamp the per-update work); 1
+	// forces the sequential path everywhere, which additionally keeps a
+	// warm Recompute allocation-free; an explicit count > 1 always
+	// parallelizes. The result is bit-identical for every value — the
+	// serial and parallel paths execute the same per-cell float streams
+	// (see README "Parallel updates"). Not persisted in snapshots.
+	// Changeable at runtime via SetWorkers, which must not run
+	// concurrently with an update (ConcurrentEngine serializes it under
+	// its writer mutex).
 	Workers int
 	// TopKCacheRows enables the read-path query cache: up to this many
 	// per-row TopKFor results (plus one global TopK result) are retained,
@@ -211,6 +221,7 @@ func NewEngine(n int, edges []Edge, opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("simrank: %w", err)
 		}
+		as.SetWorkers(opts.Workers)
 		e.s = as
 	}
 	e.setTopKCacheRows(opts.TopKCacheRows)
@@ -240,6 +251,7 @@ func (e *Engine) StoreMemBytes() int64 { return e.s.MemBytes() }
 func (e *Engine) workspace() *core.Workspace {
 	if e.ws == nil {
 		e.ws = core.NewWorkspace(e.g)
+		e.ws.SetWorkers(e.opts.Workers)
 	}
 	return e.ws
 }
@@ -524,7 +536,12 @@ func (e *Engine) AddNodes(count int) (first int, err error) {
 	first = e.g.AddNodes(count)
 	e.s = e.s.AddNodes(count, 1-e.opts.C)
 	// The workspace is sized for the old n; rebuild it lazily at the new
-	// size on the next update.
+	// size on the next update. Its worker pool would otherwise leak with
+	// the dropped workspace — the goroutines block on their job channels
+	// forever — so stop it first.
+	if e.ws != nil {
+		e.ws.StopPool()
+	}
 	e.ws = nil
 	e.epoch++
 	if e.cache != nil {
@@ -600,15 +617,37 @@ func SingleSourceScores(n int, edges []Edge, query int, opts Options) ([]float64
 // Options returns the engine's effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opts }
 
-// SetWorkers changes the batch-computation parallelism (see
-// Options.Workers). Unlike C, K and pruning — which are baked into the
-// similarity state — Workers is a pure runtime knob, so it is the one
-// option that may be changed after construction; snapshots do not
+// SetWorkers changes the batch-computation AND update-path parallelism
+// (see Options.Workers). Unlike C, K and pruning — which are baked into
+// the similarity state — Workers is a pure runtime knob, so it is the
+// one option that may be changed after construction; snapshots do not
 // persist it, and restored engines default to GOMAXPROCS until told
 // otherwise.
+//
+// Must not run concurrently with an update: it resizes the per-worker
+// scratch and tears down the worker pool the update path dispatches
+// into. ConcurrentEngine.SetWorkers holds the writer mutex for exactly
+// this reason.
 func (e *Engine) SetWorkers(workers int) {
 	e.opts.Workers = workers
+	if e.ws != nil {
+		e.ws.SetWorkers(workers)
+	}
+	if as, ok := e.s.(*simstore.Approx); ok {
+		as.SetWorkers(workers)
+	}
 	e.epoch++ // Options() is reader-visible state
+}
+
+// Close releases the engine's background resources — today the
+// persistent update worker pool, whose goroutines otherwise block on
+// their job channels for the process lifetime. The engine remains
+// usable afterwards: the pool respawns on the next parallel update.
+// Safe to call multiple times.
+func (e *Engine) Close() {
+	if e.ws != nil {
+		e.ws.StopPool()
+	}
 }
 
 // CacheStats is the query cache's counter snapshot; see cache.Stats.
@@ -644,6 +683,12 @@ func (e *Engine) SetTopKCacheRows(rows int) {
 func (e *Engine) ConfigureRestored(workers, topkRows int) {
 	if workers > 0 {
 		e.opts.Workers = workers
+		if e.ws != nil {
+			e.ws.SetWorkers(workers)
+		}
+		if as, ok := e.s.(*simstore.Approx); ok {
+			as.SetWorkers(workers)
+		}
 	}
 	e.setTopKCacheRows(topkRows)
 }

@@ -58,6 +58,10 @@ func (ws *Workspace) IncSR(s SimStore, up graph.Update, c float64, k int) (Stats
 	}
 	ws.ensureIncSR()
 	ws.resetDirty()
+	parts := ws.resolveWorkers()
+	if parts > 1 {
+		ws.ensureParScratch(parts)
+	}
 	i, j := up.Edge.From, up.Edge.To
 	dj := ws.din[j]
 
@@ -120,6 +124,21 @@ func (ws *Workspace) IncSR(s SimStore, up graph.Update, c float64, k int) (Stats
 				colSupp.add(b, 1)
 			}
 		}
+		if parts > 1 && len(xi.supp) >= parts {
+			// Fan the rank-one term across the pool: the rows are
+			// pre-claimed serially (pool draws and rowSupp bookkeeping
+			// must not race), then partitioned by support position —
+			// rows are disjoint and each row's accumulation is the
+			// serial loop below, so the bits cannot depend on the split.
+			for _, a := range xi.supp {
+				ws.mRow(a)
+			}
+			ws.parXi, ws.parEta, ws.parDenseEta = xi, eta, denseEta
+			ws.evenBounds(len(xi.supp), parts)
+			ws.parRun(taskSRAccum, parts)
+			ws.parXi, ws.parEta = nil, nil
+			return
+		}
 		for _, a := range xi.supp {
 			va := xi.vals[a]
 			row := ws.mRow(a)
@@ -176,25 +195,38 @@ func (ws *Workspace) IncSR(s SimStore, up graph.Update, c float64, k int) (Stats
 	// old S happened above, so mutating in place is safe. The M rows are
 	// scrubbed as they are read and returned to the pool for the next
 	// update.
-	touched := ws.touched
-	for _, a := range ws.rowSupp {
-		mrow := ws.mRows[a]
-		for _, b := range colSupp.supp {
-			v := mrow[b]
-			mrow[b] = 0
-			if v <= ZeroTol && v >= -ZeroTol {
-				continue
+	//
+	// Per-cell accumulation order: a pair {a, b} with both ordered M
+	// entries non-zero receives them in the claim order of rows a and b
+	// (the rowSupp scan below runs in claim order) — which the
+	// row-parallel write-back (srWritebackParallel) reproduces per pair
+	// through the rowPos ledger, so serial and parallel land identical
+	// bits at every worker count.
+	var affected int
+	if cs, ok := s.(ConcurrentWriteStore); ok && parts > 1 {
+		affected = ws.srWritebackParallel(s, cs, parts)
+	} else {
+		touched := ws.touched
+		for _, a := range ws.rowSupp {
+			mrow := ws.mRows[a]
+			for _, b := range colSupp.supp {
+				v := mrow[b]
+				mrow[b] = 0
+				if v <= ZeroTol && v >= -ZeroTol {
+					continue
+				}
+				s.AddSym(a, b, v)
+				touched.set(a, b)
+				touched.set(b, a)
+				// The write landed in rows a (entry b) and b (entry a): both
+				// become invalidation targets for row-level caches.
+				ws.markDirty(a)
+				ws.markDirty(b)
 			}
-			s.AddSym(a, b, v)
-			touched.set(a, b)
-			touched.set(b, a)
-			// The write landed in rows a (entry b) and b (entry a): both
-			// become invalidation targets for row-level caches.
-			ws.markDirty(a)
-			ws.markDirty(b)
+			ws.mRows[a] = nil
+			ws.rowPool = append(ws.rowPool, mrow)
 		}
-		ws.mRows[a] = nil
-		ws.rowPool = append(ws.rowPool, mrow)
+		affected = touched.count
 	}
 
 	iters := k
@@ -203,19 +235,22 @@ func (ws *Workspace) IncSR(s SimStore, up graph.Update, c float64, k int) (Stats
 	}
 	st := Stats{
 		Iterations:    k,
-		AffectedPairs: touched.count,
+		AffectedPairs: affected,
 		FrontierArea:  frontier / float64(iters),
 		// M's pooled rows, the workspace vectors, the touched-pair bitset
 		// (1/64 float per pair each), and the B₀/w/γ memos.
-		AuxFloats: len(ws.rowSupp)*n + peakAux + len(touched.words) + w.nnz() + b0.nnz(),
+		AuxFloats: len(ws.rowSupp)*n + peakAux + len(ws.touched.words) + w.nnz() + b0.nnz(),
 		DirtyRows: ws.dirtyRows,
 	}
 
 	// Reset every transient so the next update starts clean; each reset is
 	// proportional to the support it clears. xi/eta aliases cover all four
 	// iteration buffers regardless of swap parity (gam doubles as η₀).
+	for _, a := range ws.rowSupp {
+		ws.rowMark[a] = false
+	}
 	ws.rowSupp = ws.rowSupp[:0]
-	touched.reset()
+	ws.touched.reset()
 	b0.reset()
 	w.reset()
 	ws.vws.reset()

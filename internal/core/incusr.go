@@ -133,6 +133,10 @@ func (ws *Workspace) IncUSR(s SimStore, up graph.Update, c float64, k int) (Stat
 	}
 	ws.ensureDense()
 	ws.resetDirty()
+	parts := ws.resolveWorkers()
+	if parts > 1 {
+		ws.ensureParScratch(parts)
+	}
 	i, j := up.Edge.From, up.Edge.To
 	dj := ws.din[j]
 
@@ -140,7 +144,7 @@ func (ws *Workspace) IncUSR(s SimStore, up graph.Update, c float64, k int) (Stat
 	si := ws.si
 	s.ColInto(si, i)
 	w := ws.wD
-	ws.mulQ(w, si)
+	ws.mulQPar(w, si, parts)
 	lam := lambda(s, i, j, w[j], c)
 
 	// Lines 5–12: γ per Theorem 3.
@@ -164,15 +168,15 @@ func (ws *Workspace) IncUSR(s SimStore, up graph.Update, c float64, k int) (Stat
 	xiNext, etaNext := ws.xiNextD, ws.etaNextD
 	for iter := 0; iter < k; iter++ {
 		vxi := ws.vws.dotDense(xi)
-		ws.mulQ(xiNext, xi)
+		ws.mulQPar(xiNext, xi, parts)
 		matrix.ScaleVec(c, xiNext)
 		xiNext[uj] += c * vxi * uv
 
 		veta := ws.vws.dotDense(eta)
-		ws.mulQ(etaNext, eta)
+		ws.mulQPar(etaNext, eta, parts)
 		etaNext[uj] += veta * uv
 
-		matrix.AddOuter(m, 1, xiNext, etaNext)
+		ws.addOuterPar(xiNext, etaNext, parts)
 		xi, xiNext = xiNext, xi
 		eta, etaNext = etaNext, eta
 	}
@@ -184,33 +188,43 @@ func (ws *Workspace) IncUSR(s SimStore, up graph.Update, c float64, k int) (Stat
 	// AddSym lands the identical bits the old per-ordered-entry loop
 	// wrote, while a packed store pays one cell instead of two. The
 	// diagonal keeps its single Add of d = 2·[M]_{a,a}.
+	//
+	// With parts > 1 and a store that supports concurrent write-back,
+	// the upper-triangle scan fans out across row-partitioned workers
+	// (usrWritebackParallel) — each pair still gets its one delta,
+	// computed from the same operands in the same order, so the stored
+	// bits match the serial scan exactly.
 	affected := 0
-	for a := 0; a < n; a++ {
-		mrow := m.Row(a)
-		d := mrow[a] + m.At(a, a)
-		if d > ZeroTol || d < -ZeroTol {
-			affected++
-		}
-		// Any exactly non-zero delta dirties the row: deltas inside
-		// (0, ZeroTol] are still added to S, so a tolerance-based test
-		// here would let a cache serve stale bits. Zero deltas are
-		// skipped outright — adding 0.0 cannot change a stored value,
-		// and the skip is what keeps a copy-on-write store's write set
-		// equal to the dirty set (an unconditional AddSym over all n²/2
-		// pairs would COW the entire sealed store on every update).
-		if d != 0 {
-			ws.markDirty(a)
-			s.Add(a, a, d)
-		}
-		for b := a + 1; b < n; b++ {
-			d := mrow[b] + m.At(b, a)
+	if cs, ok := s.(ConcurrentWriteStore); ok && parts > 1 {
+		affected = ws.usrWritebackParallel(s, cs, parts)
+	} else {
+		for a := 0; a < n; a++ {
+			mrow := m.Row(a)
+			d := mrow[a] + m.At(a, a)
 			if d > ZeroTol || d < -ZeroTol {
-				affected += 2 // both ordered entries, as the dense scan counted
+				affected++
 			}
+			// Any exactly non-zero delta dirties the row: deltas inside
+			// (0, ZeroTol] are still added to S, so a tolerance-based test
+			// here would let a cache serve stale bits. Zero deltas are
+			// skipped outright — adding 0.0 cannot change a stored value,
+			// and the skip is what keeps a copy-on-write store's write set
+			// equal to the dirty set (an unconditional AddSym over all n²/2
+			// pairs would COW the entire sealed store on every update).
 			if d != 0 {
 				ws.markDirty(a)
-				ws.markDirty(b)
-				s.AddSym(a, b, d)
+				s.Add(a, a, d)
+			}
+			for b := a + 1; b < n; b++ {
+				d := mrow[b] + m.At(b, a)
+				if d > ZeroTol || d < -ZeroTol {
+					affected += 2 // both ordered entries, as the dense scan counted
+				}
+				if d != 0 {
+					ws.markDirty(a)
+					ws.markDirty(b)
+					s.AddSym(a, b, d)
+				}
 			}
 		}
 	}

@@ -1,0 +1,693 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/matrix"
+)
+
+// This file is the row-parallel execution substrate of the incremental
+// update path. The contract is bit-identity at every worker count: the
+// parallel fan-outs below never change the order of floating-point
+// accumulations INTO ANY ONE CELL — they only spread disjoint row (or
+// cell) ownership across goroutines. Concretely:
+//
+//   - mulQ and the rank-one M accumulation are embarrassingly row
+//     parallel: each output row's gather/multiply-add order is exactly
+//     the serial loop's, so any contiguous row partition yields the
+//     serial float stream.
+//   - The S write-backs assign every unordered pair {a, b} to the
+//     worker owning row min(a, b); within one owner the (at most two)
+//     contributions a pair receives are applied in the same order the
+//     serial scan lands them — for Inc-SR that is the claim order of the
+//     M rows, replayed through the workspace's rowPos ledger.
+//     Stores advertise how concurrent owners may write through the
+//     ConcurrentWriteStore contract (store.go): packed folds a pair
+//     into the min row's chunk, so chunk-aligned partitions make owners
+//     conflict-free; dense splits into an upper-triangle phase and a
+//     mirror phase so no two goroutines ever touch one cell.
+//   - Per-worker dirty rows and affected-pair counts accumulate in
+//     worker-private scratch and merge in worker order after the
+//     barrier, so the merged result is deterministic no matter which
+//     goroutine finishes first.
+//
+// The goroutines themselves are a persistent pool owned by the
+// Workspace: spawned once (a cold path, see ensurePool), then fed tasks
+// over per-worker channels, which keeps a warm parallel Apply at zero
+// heap allocations. SetWorkers must only be called between updates (the
+// engine serializes it under its writer mutex).
+
+// autoMinN is the smallest node count at which Workers == 0 (auto)
+// resolves to a parallel update: below it the per-update work is so
+// small that fan-out overhead dominates, so auto stays serial. An
+// explicit Workers > 1 always parallelizes — that is what lets the
+// equivalence suites drive the parallel path on tiny graphs.
+const autoMinN = 2048
+
+// parTask names one row-partitioned fan-out job; parameters travel in
+// the Workspace's staged par* fields, written before dispatch and read
+// only after the barrier (the channel handoff orders them).
+type parTask int
+
+const (
+	taskMulQ parTask = iota
+	taskAddOuter
+	taskUSRWriteback
+	taskUSRMirror
+	taskSRAccum
+	taskSRWriteback
+	taskSRMirror
+	taskSRScrub
+)
+
+// workerScratch is one worker's private write-back accumulation state:
+// the dirty rows it marked and the affected-pair count it tallied,
+// merged deterministically (worker order) after the barrier. The pad
+// keeps neighboring workers' hot counters off one cache line.
+type workerScratch struct {
+	dirtyMark []bool
+	dirtyRows []int
+	affected  int
+	_         [72]byte
+}
+
+// mark records row r into the worker-private dirty set.
+//
+//simrank:noalloc
+func (sc *workerScratch) mark(r int) {
+	if !sc.dirtyMark[r] {
+		sc.dirtyMark[r] = true
+		sc.dirtyRows = append(sc.dirtyRows, r)
+	}
+}
+
+// updatePool is the persistent goroutine pool: worker w (1-based; chunk
+// 0 always runs inline on the dispatching goroutine) blocks on jobs[w-1]
+// and reports each completed task on done.
+type updatePool struct {
+	jobs []chan parTask
+	done chan struct{}
+	size int // spawned goroutines = max fan-out minus the inline chunk
+}
+
+// SetWorkers reconfigures the update-path worker count (0 = auto:
+// GOMAXPROCS for n ≥ autoMinN, serial below; 1 = serial; > 1 = that
+// many goroutines). It tears the pool down so the next parallel
+// dispatch respawns at the new width, and therefore MUST NOT run
+// concurrently with an update — the engine calls it between updates,
+// under the same writer mutex that serializes Apply.
+func (ws *Workspace) SetWorkers(workers int) {
+	if workers < 0 {
+		workers = 0
+	}
+	if workers == ws.workers {
+		return
+	}
+	ws.workers = workers
+	ws.StopPool()
+}
+
+// StopPool terminates the persistent worker goroutines (idempotent).
+// Callers that drop a Workspace with a live pool — engine teardown,
+// AddNodes' rebuild — must stop it first or the blocked goroutines leak
+// for the process lifetime.
+func (ws *Workspace) StopPool() {
+	if ws.pool == nil {
+		return
+	}
+	for _, ch := range ws.pool.jobs {
+		close(ch)
+	}
+	ws.pool = nil
+}
+
+// resolveWorkers maps the configured worker count to this update's
+// effective fan-out width — a pure function of (workers, n), so the
+// serial/parallel choice is deterministic per configuration.
+//
+//simrank:noalloc
+func (ws *Workspace) resolveWorkers() int {
+	w := ws.workers
+	if w == 0 {
+		if ws.n < autoMinN {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > ws.n {
+		w = ws.n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ensurePool (re)spawns the persistent worker goroutines for a fan-out
+// of parts. One-time warm-up: every allocation here (channels, the
+// goroutines themselves) happens once per SetWorkers, after which warm
+// dispatches reuse the pool allocation-free.
+//
+//simrank:coldpath
+func (ws *Workspace) ensurePool(parts int) {
+	if ws.pool != nil && ws.pool.size >= parts-1 {
+		return
+	}
+	ws.StopPool()
+	p := &updatePool{
+		jobs: make([]chan parTask, parts-1),
+		done: make(chan struct{}, parts-1),
+		size: parts - 1,
+	}
+	for i := range p.jobs {
+		ch := make(chan parTask, 1)
+		p.jobs[i] = ch
+		w := i + 1
+		go func() {
+			for task := range ch {
+				ws.runChunk(task, w)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	ws.pool = p
+}
+
+// ensureParScratch sizes the per-worker scratch and the partition
+// bounds for a fan-out of parts. One-time warm-up, like ensurePool.
+//
+//simrank:coldpath
+func (ws *Workspace) ensureParScratch(parts int) {
+	for len(ws.wscratch) < parts {
+		ws.wscratch = append(ws.wscratch, workerScratch{})
+	}
+	for i := 0; i < parts; i++ {
+		if len(ws.wscratch[i].dirtyMark) < ws.n {
+			ws.wscratch[i].dirtyMark = make([]bool, ws.n)
+		}
+	}
+	if len(ws.bounds) < parts+1 {
+		ws.bounds = make([]int, parts+1)
+	}
+}
+
+// parRun fans the staged task out: chunks 1..parts−1 go to the pool,
+// chunk 0 runs inline, and the barrier completes when every worker has
+// reported. Channel sends/receives of scalar values allocate nothing,
+// so a warm dispatch is free of heap traffic.
+//
+//simrank:noalloc
+func (ws *Workspace) parRun(task parTask, parts int) {
+	ws.ensurePool(parts)
+	p := ws.pool
+	for w := 1; w < parts; w++ {
+		p.jobs[w-1] <- task
+	}
+	ws.runChunk(task, 0)
+	for w := 1; w < parts; w++ {
+		<-p.done
+	}
+}
+
+// runChunk executes worker w's chunk [bounds[w], bounds[w+1]) of the
+// staged task.
+//
+//simrank:noalloc
+func (ws *Workspace) runChunk(task parTask, w int) {
+	lo, hi := ws.bounds[w], ws.bounds[w+1]
+	switch task {
+	case taskMulQ:
+		ws.mulQRange(ws.parDst, ws.parX, lo, hi)
+	case taskAddOuter:
+		matrix.AddOuterRows(ws.mDense, 1, ws.parX, ws.parY, lo, hi)
+	case taskUSRWriteback:
+		ws.usrWritebackRange(w, lo, hi)
+	case taskUSRMirror:
+		ws.usrMirrorRange(lo, hi)
+	case taskSRAccum:
+		ws.srAccumRange(lo, hi)
+	case taskSRWriteback:
+		ws.srWritebackRange(w, lo, hi)
+	case taskSRMirror:
+		ws.srMirrorRange(lo, hi)
+	case taskSRScrub:
+		ws.srScrubRange(lo, hi)
+	}
+}
+
+// evenBounds partitions k items into parts contiguous, evenly sized
+// ranges — the right split when per-item work is uniform (mulQ rows,
+// M-row accumulations, scrubs).
+//
+//simrank:noalloc
+func (ws *Workspace) evenBounds(k, parts int) {
+	for w := 0; w <= parts; w++ {
+		ws.bounds[w] = w * k / parts
+	}
+}
+
+// mergeScratch folds the per-worker dirty sets and affected-pair
+// tallies into the workspace records in worker order — the same merged
+// result no matter which goroutine finished first — clearing each
+// worker's scratch for the next update.
+//
+//simrank:noalloc
+func (ws *Workspace) mergeScratch(parts int) int {
+	affected := 0
+	for w := 0; w < parts; w++ {
+		sc := &ws.wscratch[w]
+		affected += sc.affected
+		sc.affected = 0
+		for _, r := range sc.dirtyRows {
+			sc.dirtyMark[r] = false
+			ws.markDirty(r)
+		}
+		sc.dirtyRows = sc.dirtyRows[:0]
+	}
+	return affected
+}
+
+// mulQPar is mulQ fanned across parts workers: output rows partition
+// evenly, each row's gather order is the serial one.
+//
+//simrank:noalloc
+func (ws *Workspace) mulQPar(dst, x []float64, parts int) {
+	if parts <= 1 {
+		ws.mulQRange(dst, x, 0, ws.n)
+		return
+	}
+	ws.evenBounds(ws.n, parts)
+	ws.parDst, ws.parX = dst, x
+	ws.parRun(taskMulQ, parts)
+	ws.parDst, ws.parX = nil, nil
+}
+
+// addOuterPar accumulates x·yᵀ into the dense M scratch across parts
+// workers (Inc-uSR's per-iteration rank-one term).
+//
+//simrank:noalloc
+func (ws *Workspace) addOuterPar(x, y []float64, parts int) {
+	if parts <= 1 {
+		matrix.AddOuterRows(ws.mDense, 1, x, y, 0, ws.n)
+		return
+	}
+	ws.evenBounds(ws.n, parts)
+	ws.parX, ws.parY = x, y
+	ws.parRun(taskAddOuter, parts)
+	ws.parX, ws.parY = nil, nil
+}
+
+// usrBounds partitions rows 0..n−1 by upper-triangle area (row a weighs
+// n−a, its pair count including the diagonal) so Inc-uSR's triangular
+// write-back balances, aligning every boundary to the store's
+// concurrent-write granularity.
+//
+//simrank:noalloc
+func (ws *Workspace) usrBounds(parts int, cs ConcurrentWriteStore) {
+	n := ws.n
+	total := n * (n + 1) / 2
+	area, r := 0, 0
+	ws.bounds[0] = 0
+	for w := 1; w < parts; w++ {
+		target := total * w / parts
+		for r < n && area < target {
+			area += n - r
+			r++
+		}
+		for r2 := cs.AlignConcurrentBoundary(r); r < r2; r++ {
+			area += n - r
+		}
+		ws.bounds[w] = r
+	}
+	ws.bounds[parts] = n
+}
+
+// mirrorBounds partitions rows by lower-triangle area (row b weighs b)
+// for the dense mirror phase. No store alignment: the mirror phase only
+// runs on the dense layout, whose boundary is every row.
+//
+//simrank:noalloc
+func (ws *Workspace) mirrorBounds(parts int) {
+	n := ws.n
+	total := n * (n - 1) / 2
+	area, r := 0, 0
+	ws.bounds[0] = 0
+	for w := 1; w < parts; w++ {
+		target := total * w / parts
+		for r < n && area < target {
+			area += r
+			r++
+		}
+		ws.bounds[w] = r
+	}
+	ws.bounds[parts] = n
+}
+
+// usrWritebackParallel is Inc-uSR's S̃ = S + M + Mᵀ fanned across parts
+// workers: each worker owns a contiguous row range and writes its rows'
+// diagonal and upper-triangle cells; every unordered pair is visited by
+// exactly one worker, with the delta computed in the serial operand
+// order (M[a][b] + M[b][a]), so the stored bits cannot depend on the
+// partition. Returns the merged affected-pair count.
+//
+//simrank:noalloc
+func (ws *Workspace) usrWritebackParallel(s SimStore, cs ConcurrentWriteStore, parts int) int {
+	mirror := cs.BeginConcurrentWrites()
+	ws.usrBounds(parts, cs)
+	ws.parS, ws.parMirror = s, mirror
+	ws.parRun(taskUSRWriteback, parts)
+	affected := ws.mergeScratch(parts)
+	if mirror {
+		// Dense phase 2: write the lower-triangle mirrors, restricted to
+		// the dirty rows phase 1 recorded (now merged into ws.dirtyMark).
+		ws.mirrorBounds(parts)
+		ws.parRun(taskUSRMirror, parts)
+	}
+	ws.parS = nil
+	return affected
+}
+
+// usrWritebackRange is one worker's Inc-uSR phase-1 chunk: rows
+// lo..hi−1, diagonal plus upper triangle — the serial loop body with
+// writes routed per the store's concurrent contract and bookkeeping
+// kept worker-private: dirty rows land in the worker's scratch (sc.mark)
+// and reach markDirty in mergeScratch after the barrier.
+//
+//simrank:nodirty
+//simrank:noalloc
+func (ws *Workspace) usrWritebackRange(w, lo, hi int) {
+	s, mirror, m, n := ws.parS, ws.parMirror, ws.mDense, ws.n
+	sc := &ws.wscratch[w]
+	for a := lo; a < hi; a++ {
+		mrow := m.Row(a)
+		d := mrow[a] + m.At(a, a)
+		if d > ZeroTol || d < -ZeroTol {
+			sc.affected++
+		}
+		if d != 0 {
+			sc.mark(a)
+			s.Add(a, a, d)
+		}
+		for b := a + 1; b < n; b++ {
+			d := mrow[b] + m.At(b, a)
+			if d > ZeroTol || d < -ZeroTol {
+				sc.affected += 2
+			}
+			if d != 0 {
+				sc.mark(a)
+				sc.mark(b)
+				if mirror {
+					s.Add(a, b, d)
+				} else {
+					s.AddSym(a, b, d)
+				}
+			}
+		}
+	}
+}
+
+// usrMirrorRange is one worker's Inc-uSR phase-2 chunk on the dense
+// layout: for its rows b it lands the lower-triangle cell (b, a) of
+// every pair phase 1 wrote, recomputing the identical delta from the
+// untouched M. Rows (and columns) outside the merged dirty set cannot
+// hold a written pair and are skipped. Every row written here was
+// already marked dirty by phase 1's scratch merge.
+//
+//simrank:nodirty
+//simrank:noalloc
+func (ws *Workspace) usrMirrorRange(lo, hi int) {
+	s, m := ws.parS, ws.mDense
+	for b := lo; b < hi; b++ {
+		if !ws.dirtyMark[b] {
+			continue
+		}
+		mrowB := m.Row(b)
+		for a := 0; a < b; a++ {
+			if !ws.dirtyMark[a] {
+				continue
+			}
+			// The serial operand order, bit for bit: M[a][b] + M[b][a].
+			if d := m.At(a, b) + mrowB[a]; d != 0 {
+				s.Add(b, a, d)
+			}
+		}
+	}
+}
+
+// srAccumRange is one worker's slice of Inc-SR's rank-one term
+// ξ·ηᵀ: M rows indexed by xi.supp[lo..hi−1], every row pre-claimed
+// serially (pool draws and rowSupp bookkeeping don't race), each row's
+// inner accumulation exactly the serial loop's.
+//
+//simrank:noalloc
+func (ws *Workspace) srAccumRange(lo, hi int) {
+	xi, eta := ws.parXi, ws.parEta
+	for k := lo; k < hi; k++ {
+		a := xi.supp[k]
+		va := xi.vals[a]
+		row := ws.mRows[a]
+		if ws.parDenseEta {
+			for b, vb := range eta.vals {
+				row[b] += va * vb
+			}
+		} else {
+			for _, b := range eta.supp {
+				row[b] += va * eta.vals[b]
+			}
+		}
+	}
+}
+
+// srWritebackParallel is Inc-SR's pruned S̃ = S + M + Mᵀ fanned across
+// parts workers. Ownership is by unordered pair: row r = min(a, b) owns
+// {a, b}, so the owner list is every row in the pruned row support or
+// the column support, scanned ascending. Each owner applies a pair's
+// one or two contributions in the order the serial scan lands them —
+// the claim order of the M rows, compared through the rowPos ledger —
+// keeping the stored bits partition-independent. M is scrubbed only
+// after the barriers — the owners read other workers' M rows — then
+// returned to the pool serially. Returns the affected-pair count.
+//
+//simrank:noalloc
+func (ws *Workspace) srWritebackParallel(s SimStore, cs ConcurrentWriteStore, parts int) int {
+	ws.ownerRows = ws.ownerRows[:0]
+	for r := 0; r < ws.n; r++ {
+		if ws.rowMark[r] || ws.colSupp.mark[r] {
+			ws.ownerRows = append(ws.ownerRows, r)
+		}
+	}
+	mirror := cs.BeginConcurrentWrites()
+	ws.srOwnerBounds(parts, cs)
+	ws.parS, ws.parMirror = s, mirror
+	ws.parRun(taskSRWriteback, parts)
+	affected := ws.mergeScratch(parts)
+	if mirror {
+		ws.parRun(taskSRMirror, parts) // same owner partition
+	}
+	ws.evenBounds(len(ws.rowSupp), parts)
+	ws.parRun(taskSRScrub, parts)
+	for _, a := range ws.rowSupp {
+		ws.rowPool = append(ws.rowPool, ws.mRows[a])
+		ws.mRows[a] = nil
+	}
+	ws.parS = nil
+	return affected
+}
+
+// srOwnerBounds partitions the owner-row list into parts contiguous
+// ranges, advancing each boundary until consecutive owners fall on
+// opposite sides of a store write boundary (chunk-aligned on packed, so
+// no two workers ever touch one chunk; every row is a boundary on
+// dense).
+//
+//simrank:noalloc
+func (ws *Workspace) srOwnerBounds(parts int, cs ConcurrentWriteStore) {
+	rows := ws.ownerRows
+	k := len(rows)
+	ws.bounds[0] = 0
+	idx := 0
+	for w := 1; w < parts; w++ {
+		if target := k * w / parts; idx < target {
+			idx = target
+		}
+		for idx > 0 && idx < k && cs.AlignConcurrentBoundary(rows[idx-1]+1) > rows[idx] {
+			idx++
+		}
+		ws.bounds[w] = idx
+	}
+	ws.bounds[parts] = k
+}
+
+// srAdd lands one serial AddSym(a, b, v) under the concurrent contract:
+// packed keeps the symmetric call (one backing cell either way); dense
+// phase 1 writes only the pair's canonical upper cell — the mirror cell
+// is phase 2's. Dirty-row reporting is the caller's: every srAdd site
+// marks both rows into its worker scratch.
+//
+//simrank:nodirty
+//simrank:noalloc
+func srAdd(s SimStore, mirror bool, a, b int, v float64) {
+	if mirror {
+		if a > b {
+			a, b = b, a
+		}
+		s.Add(a, b, v)
+	} else {
+		s.AddSym(a, b, v)
+	}
+}
+
+// srWritebackRange is one worker's Inc-SR phase-1 chunk: owner rows
+// ownerRows[lo..hi−1]. Owner r handles every pair {r, x}, x > r,
+// completely: the min-row contribution M[r][x] (exists when r is a
+// claimed row and x in the column support) and the max-row contribution
+// M[x][r] (x claimed, r in the column support) are applied in the claim
+// order of rows r and x — the exact per-cell add sequence of the serial
+// rowSupp scan. Dirty rows accumulate in the worker's scratch (sc.mark)
+// and reach markDirty in mergeScratch after the barrier.
+//
+//simrank:nodirty
+//simrank:noalloc
+func (ws *Workspace) srWritebackRange(w, lo, hi int) {
+	s, mirror, colSupp := ws.parS, ws.parMirror, ws.colSupp
+	sc := &ws.wscratch[w]
+	for k := lo; k < hi; k++ {
+		r := ws.ownerRows[k]
+		inRow, inCol := ws.rowMark[r], colSupp.mark[r]
+		if inRow && inCol {
+			// Diagonal pair {r, r}: the single AddSym lands v twice on the
+			// one cell, exactly as the serial scan's.
+			v := ws.mRows[r][r]
+			if v > ZeroTol || v < -ZeroTol {
+				s.AddSym(r, r, v)
+				sc.affected++
+				sc.mark(r)
+			}
+		}
+		// Pairs {r, x}, x > r, x in the column support: one or both
+		// contributions live here.
+		for _, x := range colSupp.supp {
+			if x <= r {
+				continue
+			}
+			var v1, v2 float64
+			c1, c2 := false, false
+			if inRow {
+				v1 = ws.mRows[r][x]
+				c1 = v1 > ZeroTol || v1 < -ZeroTol
+			}
+			if inCol && ws.rowMark[x] {
+				v2 = ws.mRows[x][r]
+				c2 = v2 > ZeroTol || v2 < -ZeroTol
+			}
+			if !c1 && !c2 {
+				continue
+			}
+			if c1 && c2 && ws.rowPos[x] < ws.rowPos[r] {
+				// Row x was claimed first: the serial scan lands M[x][r]
+				// before M[r][x].
+				srAdd(s, mirror, x, r, v2)
+				srAdd(s, mirror, r, x, v1)
+			} else {
+				if c1 {
+					srAdd(s, mirror, r, x, v1)
+				}
+				if c2 {
+					srAdd(s, mirror, x, r, v2)
+				}
+			}
+			sc.affected += 2
+			sc.mark(r)
+			sc.mark(x)
+		}
+		// Pairs {r, x}, x > r, x a claimed row outside the column support:
+		// only the max-row contribution M[x][r] can exist.
+		if inCol {
+			for _, x := range ws.rowSupp {
+				if x <= r || colSupp.mark[x] {
+					continue
+				}
+				v := ws.mRows[x][r]
+				if v <= ZeroTol && v >= -ZeroTol {
+					continue
+				}
+				srAdd(s, mirror, x, r, v)
+				sc.affected += 2
+				sc.mark(r)
+				sc.mark(x)
+			}
+		}
+	}
+}
+
+// srMirrorRange is one worker's Inc-SR mirror chunk on the dense
+// layout: for its owner rows x it lands the lower-triangle cell (x, r),
+// r < x, of every pair phase 1 wrote, applying the same contributions
+// in the same claim order — a serial AddSym feeds both mirror cells the
+// identical add sequence. Every row written here was already marked
+// dirty by phase 1's scratch merge.
+//
+//simrank:nodirty
+//simrank:noalloc
+func (ws *Workspace) srMirrorRange(lo, hi int) {
+	s, colSupp := ws.parS, ws.colSupp
+	for k := lo; k < hi; k++ {
+		x := ws.ownerRows[k]
+		inColX, inRowX := colSupp.mark[x], ws.rowMark[x]
+		// Pairs {r, x}, r < x, r a claimed row: one or both contributions.
+		for _, r := range ws.rowSupp {
+			if r >= x {
+				continue
+			}
+			var v1, v2 float64
+			c1, c2 := false, false
+			if inColX {
+				v1 = ws.mRows[r][x]
+				c1 = v1 > ZeroTol || v1 < -ZeroTol
+			}
+			if inRowX && colSupp.mark[r] {
+				v2 = ws.mRows[x][r]
+				c2 = v2 > ZeroTol || v2 < -ZeroTol
+			}
+			if c1 && c2 && ws.rowPos[x] < ws.rowPos[r] {
+				s.Add(x, r, v2)
+				s.Add(x, r, v1)
+			} else {
+				if c1 {
+					s.Add(x, r, v1)
+				}
+				if c2 {
+					s.Add(x, r, v2)
+				}
+			}
+		}
+		// Pairs {r, x}, r < x, r in the column support but not claimed:
+		// only the max-row contribution M[x][r] can exist.
+		if inRowX {
+			mrow := ws.mRows[x]
+			for _, r := range colSupp.supp {
+				if r >= x || ws.rowMark[r] {
+					continue
+				}
+				v := mrow[r]
+				if v > ZeroTol || v < -ZeroTol {
+					s.Add(x, r, v)
+				}
+			}
+		}
+	}
+}
+
+// srScrubRange zeroes one worker's slice of the M rows (every non-zero
+// lies in the column support) so the rows return to the pool clean.
+//
+//simrank:noalloc
+func (ws *Workspace) srScrubRange(lo, hi int) {
+	colSupp := ws.colSupp
+	for k := lo; k < hi; k++ {
+		mrow := ws.mRows[ws.rowSupp[k]]
+		for _, b := range colSupp.supp {
+			mrow[b] = 0
+		}
+	}
+}

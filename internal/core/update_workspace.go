@@ -66,6 +66,30 @@ type Workspace struct {
 	// Batch-recompute scratch, allocated on first use.
 	scratch *matrix.Dense
 	qCSR    matrix.CSR
+
+	// Row-parallel update state (parallel.go): the configured worker
+	// count, the persistent goroutine pool, per-worker write-back
+	// scratch, the partition bounds of the in-flight fan-out, and the
+	// staged task parameters the pooled workers read. rowMark mirrors
+	// membership of mRows/rowSupp as O(1) lookups and rowPos records each
+	// claimed row's position in rowSupp — the claim-order ledger the
+	// parallel write-back uses to replay the serial per-cell accumulation
+	// order (both allocated with the Inc-SR scratch); ownerRows lists the
+	// rows owning at least one written pair in the pruned write-back.
+	workers     int
+	pool        *updatePool
+	wscratch    []workerScratch
+	bounds      []int
+	rowMark     []bool
+	rowPos      []int
+	ownerRows   []int
+	parS        SimStore
+	parMirror   bool
+	parDst      []float64
+	parX, parY  []float64
+	parXi       *wsVec
+	parEta      *wsVec
+	parDenseEta bool
 }
 
 // NewWorkspace builds the persistent update state for g's current
@@ -122,6 +146,8 @@ func (ws *Workspace) ensureIncSR() {
 	ws.xiNext = newWsVec(n)
 	ws.etaNext = newWsVec(n)
 	ws.mRows = make([][]float64, n)
+	ws.rowMark = make([]bool, n)
+	ws.rowPos = make([]int, n)
 	ws.touched = newPairBitset(n)
 }
 
@@ -302,7 +328,16 @@ func (ws *Workspace) decompose(up graph.Update) (uv float64, err error) {
 //
 //simrank:noalloc
 func (ws *Workspace) mulQ(dst, x []float64) {
-	for a := 0; a < ws.n; a++ {
+	ws.mulQRange(dst, x, 0, ws.n)
+}
+
+// mulQRange is mulQ restricted to output rows lo..hi−1 — the row slab a
+// parallel fan-out dispatches (mulQPar); each output entry's gather
+// order is the serial one regardless of the partition.
+//
+//simrank:noalloc
+func (ws *Workspace) mulQRange(dst, x []float64, lo, hi int) {
+	for a := lo; a < hi; a++ {
 		var s float64
 		for _, e := range ws.q[a] {
 			s += e.val * x[e.idx]
@@ -387,6 +422,8 @@ func (ws *Workspace) mRow(a int) []float64 {
 			row = make([]float64, ws.n) //simrank:allocok pool miss; the pool converges to the peak frontier and misses stop
 		}
 		ws.mRows[a] = row
+		ws.rowMark[a] = true
+		ws.rowPos[a] = len(ws.rowSupp)
 		ws.rowSupp = append(ws.rowSupp, a)
 	}
 	return row

@@ -79,6 +79,17 @@ func TestStatsEpochAdvances(t *testing.T) {
 	if st1.ViewsPublished <= st0.ViewsPublished {
 		t.Fatalf("views_published did not advance: %d -> %d", st0.ViewsPublished, st1.ViewsPublished)
 	}
+	// The commit-latency window has at least one sample now; percentiles
+	// must be live (a commit cannot take less than a microsecond — p50 of
+	// zero would mean the window never recorded) and ordered. Before the
+	// first commit they read zero.
+	if st0.UpdateP50Us != 0 || st0.UpdateP99Us != 0 {
+		t.Fatalf("boot stats report update latency %d/%d µs with no commits", st0.UpdateP50Us, st0.UpdateP99Us)
+	}
+	if st1.UpdateP50Us < 1 || st1.UpdateP99Us < st1.UpdateP50Us {
+		t.Fatalf("update latency percentiles not live after a commit: p50=%dµs p99=%dµs",
+			st1.UpdateP50Us, st1.UpdateP99Us)
+	}
 
 	// /readyz reports the same serving epoch.
 	var ready ReadyResponse

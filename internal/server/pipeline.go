@@ -14,6 +14,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,57 @@ type pipelineStats struct {
 	walFailures atomic.Int64
 }
 
+// latWindowSize bounds the sliding window of recent commit latencies the
+// /stats update percentiles are computed over: big enough that p99 rests
+// on several observations, small enough that the percentiles track the
+// current load, not the process's whole history.
+const latWindowSize = 512
+
+// latencyWindow is a fixed-size ring of the most recent apply-call
+// latencies (µs). Writes come only from the drain goroutine, reads from
+// any /stats request, so a small mutex suffices — the critical sections
+// are a ring store and an O(window) copy.
+type latencyWindow struct {
+	mu      sync.Mutex
+	buf     [latWindowSize]int64
+	n       int // filled entries
+	next    int
+	scratch []int64 // reused percentile sort buffer, allocated on first use
+}
+
+// record stores one commit latency, evicting the oldest once full. A
+// sub-microsecond commit rounds up to 1µs so a zero percentile always
+// means "no commits yet", never "very fast commits".
+func (lw *latencyWindow) record(us int64) {
+	if us < 1 {
+		us = 1
+	}
+	lw.mu.Lock()
+	lw.buf[lw.next] = us
+	lw.next = (lw.next + 1) % latWindowSize
+	if lw.n < latWindowSize {
+		lw.n++
+	}
+	lw.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the window (0, 0 while empty),
+// by nearest-rank over a sorted copy.
+func (lw *latencyWindow) percentiles() (p50, p99 int64) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.n == 0 {
+		return 0, 0
+	}
+	if cap(lw.scratch) < lw.n {
+		lw.scratch = make([]int64, lw.n)
+	}
+	s := lw.scratch[:lw.n]
+	copy(s, lw.buf[:lw.n])
+	slices.Sort(s)
+	return s[(lw.n-1)*50/100], s[(lw.n-1)*99/100]
+}
+
 // pipeline is the coalescing write path. submit enqueues a request onto
 // a buffered channel and returns immediately; a single drain goroutine
 // takes the first queued request, greedily gathers everything else that
@@ -79,6 +131,11 @@ type pipeline struct {
 	done     chan struct{}  // drain goroutine exited
 
 	stats pipelineStats
+	// lat holds the recent commit latencies behind the /stats
+	// update_p50_us/update_p99_us gauges: how long one apply call (the
+	// engine-side work of a coalesced cycle) took, measured by the drain
+	// goroutine around every commit attempt.
+	lat latencyWindow
 }
 
 func newPipeline(apply func([]simrank.Update) error, sync func() error, queueSize, maxBatch int, window time.Duration) *pipeline {
@@ -209,7 +266,7 @@ func (p *pipeline) commit(cycle []writeReq, total int) {
 			ups = append(ups, r.ups...)
 		}
 	}
-	err := p.apply(ups)
+	err := p.timedApply(ups)
 	if err == nil || errors.Is(err, simrank.ErrDurability) {
 		p.acknowledge(cycle, len(ups), err)
 		return
@@ -223,7 +280,7 @@ func (p *pipeline) commit(cycle []writeReq, total int) {
 	// Only terminal (post-fallback) failures count in the stats, so one
 	// bad update rejected once reads as one failure, not two.
 	for _, r := range cycle {
-		e := p.apply(r.ups)
+		e := p.timedApply(r.ups)
 		if e == nil || errors.Is(e, simrank.ErrDurability) {
 			p.acknowledge([]writeReq{r}, len(r.ups), e)
 		} else {
@@ -257,6 +314,16 @@ func (p *pipeline) acknowledge(cycle []writeReq, n int, err error) {
 	for _, r := range cycle {
 		notify(r.done, err)
 	}
+}
+
+// timedApply runs one apply call with its wall time recorded into the
+// latency window — rejected batches included, since a client waiting on
+// ?wait=1 experiences that latency too.
+func (p *pipeline) timedApply(ups []simrank.Update) error {
+	start := time.Now()
+	err := p.apply(ups)
+	p.lat.record(time.Since(start).Microseconds())
+	return err
 }
 
 func (p *pipeline) noteBatch(n int) {

@@ -266,6 +266,7 @@ func (s *Server) Stats() StatsResponse {
 	st := &s.pipe.stats
 	vi := s.eng.ViewInfo()
 	cs := vi.Cache
+	updP50, updP99 := s.pipe.lat.percentiles()
 	resp := StatsResponse{
 		Nodes:           vi.N,
 		Edges:           vi.M,
@@ -282,6 +283,10 @@ func (s *Server) Stats() StatsResponse {
 		FailedBatches:   st.failedBatches.Load(),
 		MaxBatch:        st.maxBatch.Load(),
 		QueueDepth:      st.depth.Load(),
+
+		UpdateP50Us:   updP50,
+		UpdateP99Us:   updP99,
+		UpdateWorkers: s.eng.Options().Workers,
 
 		CacheRowHits:         cs.RowHits,
 		CacheRowMisses:       cs.RowMisses,

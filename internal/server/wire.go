@@ -158,6 +158,14 @@ type StatsResponse struct {
 	MaxBatch        int64 `json:"max_batch"`
 	QueueDepth      int64 `json:"queue_depth"`
 
+	// Update commit latency over a sliding window of recent apply calls
+	// (µs per coalesced cycle, the engine-side cost a ?wait=1 client
+	// waits through), and the worker count the update path fans out to
+	// (0 = auto, 1 = serial). Both zero until the first commit.
+	UpdateP50Us   int64 `json:"update_p50_us"`
+	UpdateP99Us   int64 `json:"update_p99_us"`
+	UpdateWorkers int   `json:"update_workers"`
+
 	// Query-cache counters (all zero with -topk-cache 0). The miss
 	// counters are the scans actually performed: /topkfor traffic is
 	// served entirely from cache while cache_row_misses holds still, and

@@ -81,6 +81,14 @@ func (a *Approx) Seed() int64 { return a.seed }
 // Index exposes the underlying walk index (tests, diagnostics).
 func (a *Approx) Index() *montecarlo.Index { return a.idx }
 
+// SetWorkers bounds the goroutines one walk repair fans suffix
+// resampling across (see montecarlo.Index.SetWorkers): 0 selects
+// GOMAXPROCS, 1 forces the serial path. Every repaired position is a
+// pure function of (seed, node, walk, step), so the index is
+// bit-identical at every setting. Single-writer path — call it only
+// between updates.
+func (a *Approx) SetWorkers(workers int) { a.idx.SetWorkers(workers) }
+
 // N returns the node count.
 func (a *Approx) N() int { return a.idx.N() }
 

@@ -227,6 +227,23 @@ func (d *Dense) AddSym(i, j int, v float64) {
 	d.m.AddSym(i, j, v)
 }
 
+// BeginConcurrentWrites readies the store for the row-parallel update
+// write-back (core.ConcurrentWriteStore): the copy-on-write flip a
+// sealed view would force on the first mutation runs here, once,
+// serially — after it d.cow is false, so the concurrent Add calls that
+// follow go straight to matrix cells and goroutines writing disjoint
+// cells never race. Returns true: the dense layout stores both
+// triangles, so the parallel write-back lands each pair's mirror cell
+// in a separate phase rather than via AddSym.
+func (d *Dense) BeginConcurrentWrites() bool {
+	d.beforeWrite()
+	return true
+}
+
+// AlignConcurrentBoundary returns r unchanged: every dense row is an
+// independent write target, so any row partition is conflict-free.
+func (d *Dense) AlignConcurrentBoundary(r int) int { return r }
+
 // Row returns row i aliasing the matrix storage (no scratch involved, so
 // for this backend the view stays valid across calls).
 func (d *Dense) Row(i int) []float64 { return d.m.Row(i) }

@@ -194,6 +194,33 @@ func (p *Packed) AddSym(i, j int, v float64) {
 	}
 }
 
+// BeginConcurrentWrites readies the store for the row-parallel update
+// write-back (core.ConcurrentWriteStore). There is no up-front flip —
+// chunk copy-on-write happens write by write — but concurrent owners
+// must never share a chunk, which partitions aligned through
+// AlignConcurrentBoundary guarantee: a pair {a, b}'s cell lives in row
+// min(a, b)'s chunk, so every write (including a COW duplication of the
+// chunk and its owned-bit update) stays inside the owning worker's
+// chunks. Returns false: a pair's mirror entries share one packed cell,
+// so AddSym is already a single-cell write and no mirror phase exists.
+func (p *Packed) BeginConcurrentWrites() bool {
+	if p.sealed {
+		panic("simstore: write to a sealed packed view")
+	}
+	return false
+}
+
+// AlignConcurrentBoundary rounds r up to the next chunk-start row (or
+// n): writing any cell of a chunk may duplicate the whole chunk, so a
+// partition boundary inside a chunk would let two goroutines race on
+// it.
+func (p *Packed) AlignConcurrentBoundary(r int) int {
+	for r > 0 && r < p.n && p.rowChunk[r] == p.rowChunk[r-1] {
+		r++
+	}
+	return r
+}
+
 // upperSeg returns the contiguous packed segment of row i — (i, i), …,
 // (i, n−1) — aliasing chunk storage. Chunks hold whole rows, so the
 // segment never straddles a chunk boundary.

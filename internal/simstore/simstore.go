@@ -97,6 +97,32 @@ func ParseBackend(s string) (Backend, error) {
 // mark-everything hook. A store that has never been sealed pays nothing
 // for any of this: MarkRowsDirty is a no-op and the write paths skip the
 // copy-on-write checks' slow half entirely.
+//
+// # The concurrent write-back contract
+//
+// The exact stores additionally implement core.ConcurrentWriteStore,
+// which the row-parallel incremental write-back uses to mutate disjoint
+// cells from several goroutines at once:
+//
+//   - BeginConcurrentWrites runs once, serially, before the fan-out and
+//     performs any internal transition that must not race — the dense
+//     store runs its pending double-buffer flip here, so the concurrent
+//     Add calls that follow are plain cell writes; the packed store has
+//     nothing to flip (chunk COW is per-write) but relies on alignment.
+//     Its return value reports whether the layout stores both triangles
+//     (dense: true), in which case the caller writes each pair's
+//     canonical upper cell first and lands the mirrors in a separate
+//     phase, so no cell is ever touched by two goroutines.
+//   - AlignConcurrentBoundary rounds a row-partition boundary up to the
+//     store's concurrent-write granularity: dense returns it unchanged
+//     (any row split works); packed rounds up to the next chunk-start
+//     row, because a write may duplicate (COW) its whole chunk and two
+//     goroutines must never share one.
+//
+// The approx store is not a ConcurrentWriteStore — its writes flow
+// through ApplyUpdate, which parallelizes internally across affected
+// walks (SetWorkers) — and any store without the interface simply gets
+// the serial write-back.
 type Store interface {
 	// N returns the node count.
 	N() int

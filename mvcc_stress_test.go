@@ -1,6 +1,7 @@
 package simrank
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -121,156 +122,171 @@ type mvccObs struct {
 // on (cached answers must be bit-equal too) plus the approx backend,
 // whose deterministic stored-walk queries make the same bit-replay
 // valid even though every commit there is an incremental walk repair.
+// The whole matrix also runs at Workers ∈ {1, 2, 4, 8} while the
+// replay oracle stays serial, so every row-parallel commit is checked
+// bit-for-bit against the sequential floats.
 func TestMVCCStressSnapshotIsolation(t *testing.T) {
 	for _, backend := range []Backend{BackendDense, BackendPacked, BackendApprox} {
-		t.Run(string(backend), func(t *testing.T) {
-			const (
-				n0      = 18
-				steps   = 60
-				readers = 4
-			)
-			opts := Options{C: 0.6, K: 6, Backend: backend, ApproxWalks: 32,
-				TopKCacheRows: 12, RecomputeThreshold: 100, Workers: 1}
-			edges, sched := buildMVCCSchedule(11, n0, steps)
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", backend, workers), func(t *testing.T) {
+				runMVCCStress(t, backend, workers)
+			})
+		}
+	}
+}
 
-			ce, err := NewConcurrentEngine(n0, edges, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
+func runMVCCStress(t *testing.T, backend Backend, workers int) {
+	const (
+		n0      = 18
+		steps   = 60
+		readers = 4
+	)
+	opts := Options{C: 0.6, K: 6, Backend: backend, ApproxWalks: 32,
+		TopKCacheRows: 12, RecomputeThreshold: 100, Workers: workers}
+	edges, sched := buildMVCCSchedule(11, n0, steps)
 
-			var (
-				wg   sync.WaitGroup
-				stop = make(chan struct{})
-				obs  = make([][]mvccObs, readers)
-			)
-			for r := 0; r < readers; r++ {
-				wg.Add(1)
-				go func(r int) {
-					defer wg.Done()
-					rng := rand.New(rand.NewSource(int64(100 + r)))
-					var last uint64
-					for i := 0; ; i++ {
-						select {
-						case <-stop:
-							return
-						default:
-						}
-						v := ce.acquire()
-						o := mvccObs{epoch: v.epoch, n: v.n, m: v.m}
-						if o.epoch < last {
-							t.Errorf("reader %d: epoch went backwards %d -> %d", r, last, o.epoch)
-							release(v)
-							return
-						}
-						last = o.epoch
-						o.a, o.b = rng.Intn(o.n), rng.Intn(o.n)
-						o.sim = v.similarity(o.a, o.b)
-						o.topka = rng.Intn(o.n)
-						o.k = 1 + rng.Intn(5)
-						o.topk = v.topKFor(o.topka, o.k)
-						if i%7 == 0 {
-							o.global = v.topK(4)
-						}
-						release(v)
-						if i%16 == 0 { // keep memory bounded; sample the rest
-							obs[r] = append(obs[r], o)
-						}
-					}
-				}(r)
-			}
+	ce, err := NewConcurrentEngine(n0, edges, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ce.Close()
 
-			// The writer streams the schedule against the readers.
-			for _, st := range sched {
-				st.run(t,
-					func(up Update) error { _, err := ce.Apply(up); return err },
-					ce.ApplyBatch,
-					func(k int) error { _, err := ce.AddNodes(k); return err },
-					func() { _ = ce.Recompute() },
-				)
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+		obs  = make([][]mvccObs, readers)
+	)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			var last uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := ce.acquire()
+				o := mvccObs{epoch: v.epoch, n: v.n, m: v.m}
+				if o.epoch < last {
+					t.Errorf("reader %d: epoch went backwards %d -> %d", r, last, o.epoch)
+					release(v)
+					return
+				}
+				last = o.epoch
+				o.a, o.b = rng.Intn(o.n), rng.Intn(o.n)
+				o.sim = v.similarity(o.a, o.b)
+				o.topka = rng.Intn(o.n)
+				o.k = 1 + rng.Intn(5)
+				o.topk = v.topKFor(o.topka, o.k)
+				if i%7 == 0 {
+					o.global = v.topK(4)
+				}
+				release(v)
+				if i%16 == 0 { // keep memory bounded; sample the rest
+					obs[r] = append(obs[r], o)
+				}
 			}
-			close(stop)
-			wg.Wait()
-			if t.Failed() {
-				return
-			}
+		}(r)
+	}
 
-			// Serial replay: a plain engine stepping the same schedule.
-			// Group observations by epoch, advance the replay engine epoch
-			// by epoch, and compare bits.
-			byEpoch := map[uint64][]mvccObs{}
-			var maxEpoch uint64
-			for _, ro := range obs {
-				for _, o := range ro {
-					byEpoch[o.epoch] = append(byEpoch[o.epoch], o)
-					if o.epoch > maxEpoch {
-						maxEpoch = o.epoch
+	// The writer streams the schedule against the readers.
+	for _, st := range sched {
+		st.run(t,
+			func(up Update) error { _, err := ce.Apply(up); return err },
+			ce.ApplyBatch,
+			func(k int) error { _, err := ce.AddNodes(k); return err },
+			func() { _ = ce.Recompute() },
+		)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Serial replay: a plain engine stepping the same schedule.
+	// Group observations by epoch, advance the replay engine epoch
+	// by epoch, and compare bits.
+	byEpoch := map[uint64][]mvccObs{}
+	var maxEpoch uint64
+	for _, ro := range obs {
+		for _, o := range ro {
+			byEpoch[o.epoch] = append(byEpoch[o.epoch], o)
+			if o.epoch > maxEpoch {
+				maxEpoch = o.epoch
+			}
+		}
+	}
+	// The replay oracle always runs serial, whatever worker count the
+	// live engine used: bit-equality here is the end-to-end proof that
+	// the row-parallel write-back reproduces the serial floats exactly.
+	refOpts := opts
+	refOpts.Workers = 1
+	ref, err := NewEngine(n0, edges, refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(epoch uint64) {
+		for _, o := range byEpoch[epoch] {
+			if o.n != ref.N() || o.m != ref.M() {
+				t.Fatalf("epoch %d: observed (n,m)=(%d,%d), replay has (%d,%d)",
+					epoch, o.n, o.m, ref.N(), ref.M())
+			}
+			if got := ref.Similarity(o.a, o.b); got != o.sim {
+				t.Fatalf("epoch %d: s(%d,%d) observed %v, replay %v",
+					epoch, o.a, o.b, o.sim, got)
+			}
+			// Replay at the recorded k: both engines are deterministic,
+			// so the whole answer must match bit for bit. (The approx
+			// sampled list may be shorter than k — zero-score drop —
+			// which is why k itself is recorded, not inferred.)
+			want := ref.TopKFor(o.topka, o.k)
+			if len(want) != len(o.topk) {
+				t.Fatalf("epoch %d: topKFor(%d,%d) observed %d pairs, replay %d",
+					epoch, o.topka, o.k, len(o.topk), len(want))
+			}
+			for i := range o.topk {
+				if o.topk[i] != want[i] {
+					t.Fatalf("epoch %d: topKFor(%d,%d)[%d] observed %+v, replay %+v",
+						epoch, o.topka, o.k, i, o.topk[i], want[i])
+				}
+			}
+			if o.global != nil {
+				wantG := ref.TopK(4)
+				if len(wantG) != len(o.global) {
+					t.Fatalf("epoch %d: topK observed %d pairs, replay %d",
+						epoch, len(o.global), len(wantG))
+				}
+				for i := range o.global {
+					if o.global[i] != wantG[i] {
+						t.Fatalf("epoch %d: topK[%d] observed %+v, replay %+v",
+							epoch, i, o.global[i], wantG[i])
 					}
 				}
 			}
-			ref, err := NewEngine(n0, edges, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			check := func(epoch uint64) {
-				for _, o := range byEpoch[epoch] {
-					if o.n != ref.N() || o.m != ref.M() {
-						t.Fatalf("epoch %d: observed (n,m)=(%d,%d), replay has (%d,%d)",
-							epoch, o.n, o.m, ref.N(), ref.M())
-					}
-					if got := ref.Similarity(o.a, o.b); got != o.sim {
-						t.Fatalf("epoch %d: s(%d,%d) observed %v, replay %v",
-							epoch, o.a, o.b, o.sim, got)
-					}
-					// Replay at the recorded k: both engines are deterministic,
-					// so the whole answer must match bit for bit. (The approx
-					// sampled list may be shorter than k — zero-score drop —
-					// which is why k itself is recorded, not inferred.)
-					want := ref.TopKFor(o.topka, o.k)
-					if len(want) != len(o.topk) {
-						t.Fatalf("epoch %d: topKFor(%d,%d) observed %d pairs, replay %d",
-							epoch, o.topka, o.k, len(o.topk), len(want))
-					}
-					for i := range o.topk {
-						if o.topk[i] != want[i] {
-							t.Fatalf("epoch %d: topKFor(%d,%d)[%d] observed %+v, replay %+v",
-								epoch, o.topka, o.k, i, o.topk[i], want[i])
-						}
-					}
-					if o.global != nil {
-						wantG := ref.TopK(4)
-						if len(wantG) != len(o.global) {
-							t.Fatalf("epoch %d: topK observed %d pairs, replay %d",
-								epoch, len(o.global), len(wantG))
-						}
-						for i := range o.global {
-							if o.global[i] != wantG[i] {
-								t.Fatalf("epoch %d: topK[%d] observed %+v, replay %+v",
-									epoch, i, o.global[i], wantG[i])
-							}
-						}
-					}
-				}
-			}
-			epoch := ref.Epoch() // 0
+		}
+	}
+	epoch := ref.Epoch() // 0
+	check(epoch)
+	for _, st := range sched {
+		st.run(t,
+			func(up Update) error { _, err := ref.Apply(up); return err },
+			ref.ApplyBatch,
+			func(k int) error { _, err := ref.AddNodes(k); return err },
+			ref.Recompute,
+		)
+		for epoch++; epoch <= ref.Epoch(); epoch++ {
+			// Batch steps commit several epochs at once; only the last
+			// was ever published, so earlier ones have no observations.
 			check(epoch)
-			for _, st := range sched {
-				st.run(t,
-					func(up Update) error { _, err := ref.Apply(up); return err },
-					ref.ApplyBatch,
-					func(k int) error { _, err := ref.AddNodes(k); return err },
-					ref.Recompute,
-				)
-				for epoch++; epoch <= ref.Epoch(); epoch++ {
-					// Batch steps commit several epochs at once; only the last
-					// was ever published, so earlier ones have no observations.
-					check(epoch)
-				}
-				epoch = ref.Epoch()
-			}
-			if maxEpoch > ref.Epoch() {
-				t.Fatalf("observed epoch %d beyond replay end %d", maxEpoch, ref.Epoch())
-			}
-		})
+		}
+		epoch = ref.Epoch()
+	}
+	if maxEpoch > ref.Epoch() {
+		t.Fatalf("observed epoch %d beyond replay end %d", maxEpoch, ref.Epoch())
 	}
 }
 

@@ -40,11 +40,13 @@ func (m *streamModel) randomUpdate(rng *rand.Rand) Update {
 // folded through arbitrary interleavings of Apply, ApplyBatch (whose
 // batch sizes straddle the recompute crossover) and AddNodes, must land
 // on the same similarities as a fresh engine built over the final edge
-// set — within 1e-12, with pruning on and off, sequentially and with 4
-// workers.
+// set — within 1e-12, with pruning on and off, sequentially and at
+// every parallel worker count the incremental write-back partitions
+// over (2, 4, 8 — plus oversubscription relative to the tiny graphs,
+// which exercises the empty-range edges of the row partition).
 func TestPipelineEquivalenceRandomStreams(t *testing.T) {
 	for _, disablePruning := range []bool{false, true} {
-		for _, workers := range []int{1, 4} {
+		for _, workers := range []int{1, 2, 4, 8} {
 			// K = 60 pushes the iterative truncation error C^{K+1} ≈ 3e-14
 			// below the 1e-12 gate, so any residual difference is a real
 			// divergence between the incremental and batch paths, not

@@ -58,6 +58,37 @@ func TestEngineApplyZeroAllocs(t *testing.T) {
 	}
 }
 
+// The parallel update path shares the steady-state guarantee: after the
+// first Apply spawns the worker pool and grows the per-worker scratch
+// (the audited //simrank:coldpath lines), a warm row-parallel Apply
+// dispatches over persistent channels into persistent buffers and must
+// not allocate at all.
+func TestEngineApplyParallelZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	rng := rand.New(rand.NewSource(17))
+	g := randTestGraph(rng, 40, 160)
+	eng, err := NewEngine(g.N(), g.Edges(), Options{C: 0.6, K: 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	edges := g.Edges()[:4]
+	toggle := func() {
+		for _, e := range edges {
+			if _, err := eng.Delete(e.From, e.To); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Insert(e.From, e.To); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	toggle() // warm up: pool spawn and scratch growth happen here
+	if allocs := testing.AllocsPerRun(20, toggle); allocs != 0 {
+		t.Fatalf("warm parallel Apply allocated %v times per toggle pass, want 0", allocs)
+	}
+}
+
 // Single-update ApplyBatch — the steady state of the server's coalescing
 // pipeline at low traffic — shares the zero-allocation guarantee: the
 // up-front batch validation must not build its overlay map for one
